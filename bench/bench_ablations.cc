@@ -1,0 +1,119 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//
+//  1. Synchronization provider (§4.3): the server's emulated-spl machinery
+//     vs the library's cheap locks vs hardware spl — measured by swapping
+//     the sync pair cost of the *library* placement and observing latency.
+//  2. SHM wakeup batching (§4.1): signals per packet at throughput — the
+//     amortization that makes the shared-memory filter interface fast.
+//  3. Metastate caching (§3.3): ARP/route cache hit rates in the library,
+//     and the cost of a cold send (cache miss -> server RPC) vs warm.
+#include <cstdio>
+
+#include "bench/common/workloads.h"
+
+namespace psd {
+namespace {
+
+void AblateSync() {
+  std::printf("-- Ablation 1: synchronization provider cost (library placement) --\n");
+  std::printf("The stack charges one 'pair' per internal spl/lock point; the placements\n");
+  std::printf("differ only in the pair cost (hw spl 1us / lib locks 3us / emulated 70us).\n\n");
+  std::printf("%-28s %14s %14s\n", "sync provider (pair cost)", "TCP 1B RTT ms", "UDP 1B RTT ms");
+  struct Case {
+    const char* name;
+    SimDuration cost;
+  };
+  const Case cases[] = {
+      {"hardware spl (1us)", Micros(1)},
+      {"library locks (3us)", Micros(3)},
+      {"emulated spl (70us)", Micros(70)},
+  };
+  for (const Case& c : cases) {
+    MachineProfile prof = MachineProfile::DecStation5000();
+    prof.sync_lib_lock = c.cost;  // the knob the library placement uses
+    ProtolatOptions opt;
+    opt.trials = 50;
+    opt.proto = IpProto::kTcp;
+    opt.msg_size = 1;
+    double tcp = RunProtolat(Config::kLibraryShmIpf, prof, opt);
+    opt.proto = IpProto::kUdp;
+    double udp = RunProtolat(Config::kLibraryShmIpf, prof, opt);
+    std::printf("%-28s %14.2f %14.2f\n", c.name, tcp, udp);
+  }
+  std::printf("\n");
+}
+
+void AblateBatching() {
+  std::printf("-- Ablation 2: shared-memory wakeup batching at throughput --\n");
+  std::printf("(\"the scheduling overhead of packet delivery is amortized over multiple\n");
+  std::printf("packets\", paper 4.1; packets/signal > 1 is the amortization)\n\n");
+  std::printf("%-18s %12s %12s %12s %14s\n", "config", "KB/s", "packets", "signals",
+              "pkts/signal");
+  MachineProfile prof = MachineProfile::DecStation5000();
+  for (Config c : {Config::kLibraryShm, Config::kLibraryShmIpf}) {
+    TtcpOptions opt;
+    opt.total_bytes = 4 * 1024 * 1024;
+    opt.rcvbuf = 48 * 1024;
+    opt.sndbuf = 48 * 1024;
+    TtcpResult r = RunTtcp(c, prof, opt);
+    double batch = r.wakeups > 0 ? static_cast<double>(r.packets) / r.wakeups : 0;
+    std::printf("%-18s %12.0f %12lu %12lu %14.2f\n", ConfigName(c), r.kb_per_sec, r.packets,
+                r.wakeups, batch);
+  }
+  std::printf("\n");
+}
+
+void AblateMetastate() {
+  std::printf("-- Ablation 3: metastate caching (ARP/routes, paper 3.3) --\n");
+  std::printf("Cold sends RPC the OS server for route+ARP; warm sends hit the library's\n");
+  std::printf("cache. The cache turns per-packet server interaction into none.\n\n");
+  MachineProfile prof = MachineProfile::DecStation5000();
+  World w(Config::kLibraryShmIpf, prof);
+  SimTime cold_cost = 0;
+  SimTime warm_cost = 0;
+  bool done = false;
+  w.SpawnApp(1, "sink", [&] {
+    SocketApi* api = w.api(1);
+    int fd = *api->CreateSocket(IpProto::kUdp);
+    api->Bind(fd, SockAddrIn{Ipv4Addr::Any(), 9000});
+    uint8_t buf[64];
+    for (int i = 0; i < 40; i++) {
+      api->Recv(fd, buf, sizeof(buf), nullptr, false);
+    }
+  });
+  w.SpawnApp(0, "src", [&] {
+    SocketApi* api = w.api(0);
+    int fd = *api->CreateSocket(IpProto::kUdp);
+    w.sim().current_thread()->SleepFor(Millis(10));
+    SockAddrIn dst{w.addr(1), 9000};
+    uint8_t b[8] = {1};
+    SimTime t0 = w.sim().Now();
+    api->Send(fd, b, sizeof(b), &dst);  // cold: route + ARP RPCs
+    cold_cost = w.sim().Now() - t0;
+    SimTime t1 = w.sim().Now();
+    for (int i = 0; i < 39; i++) {
+      api->Send(fd, b, sizeof(b), &dst);  // warm: pure library fast path
+    }
+    warm_cost = (w.sim().Now() - t1) / 39;
+    done = true;
+  });
+  w.sim().Run(Seconds(30));
+  if (done) {
+    std::printf("cold send (route+ARP miss): %8.1f us\n", ToMicros(cold_cost));
+    std::printf("warm send (cache hit):      %8.1f us\n", ToMicros(warm_cost));
+    std::printf("ARP cache hits/misses:      %lu/%lu, invalidation callbacks: %lu\n",
+                w.library(0)->arp_cache_hits(), w.library(0)->arp_cache_misses(),
+                w.library(0)->invalidations());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace psd
+
+int main() {
+  psd::AblateSync();
+  psd::AblateBatching();
+  psd::AblateMetastate();
+  return 0;
+}

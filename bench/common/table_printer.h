@@ -1,0 +1,34 @@
+// Shared formatting helpers for the table-reproduction benches: each cell
+// prints the measured value with the paper's published value alongside
+// ("measured (paper)"), so shape agreement is visible at a glance.
+#ifndef PSD_BENCH_COMMON_TABLE_PRINTER_H_
+#define PSD_BENCH_COMMON_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+
+namespace psd {
+
+inline std::string Cell(double measured, double paper, const char* fmt = "%.2f") {
+  char buf[64];
+  char m[24], p[24];
+  std::snprintf(m, sizeof(m), fmt, measured);
+  if (paper > 0) {
+    std::snprintf(p, sizeof(p), fmt, paper);
+    std::snprintf(buf, sizeof(buf), "%s (%s)", m, p);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s (--)", m);
+  }
+  return buf;
+}
+
+inline void PrintRule(int width) {
+  for (int i = 0; i < width; i++) {
+    std::putchar('-');
+  }
+  std::putchar('\n');
+}
+
+}  // namespace psd
+
+#endif  // PSD_BENCH_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,70 @@
+// The paper's two microbenchmark programs (§4, "Platforms"):
+//
+//  * ttcp     — memory-to-memory TCP throughput: transfers 16 MB from one
+//               host to another, reporting KB/s. The paper runs it "with
+//               the best possible receive buffer size for each
+//               implementation", found by increasing the buffer until
+//               throughput stops improving; TtcpBestBuffer reproduces that
+//               methodology.
+//  * protolat — protocol round-trip latency for UDP and TCP across message
+//               sizes (1, 100, 512, 1024, 1460/1472 bytes).
+//
+// All times are virtual; runs are deterministic.
+#ifndef PSD_BENCH_COMMON_WORKLOADS_H_
+#define PSD_BENCH_COMMON_WORKLOADS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/testbed/world.h"
+
+namespace psd {
+
+struct TtcpOptions {
+  size_t total_bytes = 16 * 1024 * 1024;
+  size_t write_size = 8192;  // ttcp default buffer length
+  size_t rcvbuf = 24 * 1024;
+  size_t sndbuf = 24 * 1024;
+  bool newapi = false;  // shared-buffer socket interface (paper §4.2)
+  bool pio_nic = false;
+};
+
+struct TtcpResult {
+  double kb_per_sec = 0;
+  uint64_t retransmits = 0;
+  uint64_t wakeups = 0;  // SHM-ring signals on the receiver (batching metric)
+  uint64_t packets = 0;
+};
+
+TtcpResult RunTtcp(Config config, const MachineProfile& profile, const TtcpOptions& opt);
+
+struct SweepResult {
+  TtcpResult best;
+  size_t best_rcvbuf = 0;
+  std::vector<std::pair<size_t, double>> curve;  // (rcvbuf, KB/s)
+};
+
+// Paper methodology: increase the receive buffer until throughput stops
+// improving (< 2% gain).
+SweepResult TtcpBestBuffer(Config config, const MachineProfile& profile, TtcpOptions opt);
+
+struct ProtolatOptions {
+  IpProto proto = IpProto::kUdp;
+  size_t msg_size = 1;
+  int trials = 100;
+  bool newapi = false;
+  bool pio_nic = false;
+};
+
+// Mean round-trip time in milliseconds.
+double RunProtolat(Config config, const MachineProfile& profile, const ProtolatOptions& opt);
+
+// Same, with a Table 4 stage recorder attached to the *server* (echo) host
+// so the receive path of the measured direction is captured there; the
+// client host records the send path. Pass the same recorder for both.
+double RunProtolatProbed(Config config, const MachineProfile& profile, const ProtolatOptions& opt,
+                         StageRecorder* recorder);
+
+}  // namespace psd
+
+#endif  // PSD_BENCH_COMMON_WORKLOADS_H_

@@ -1,0 +1,130 @@
+// The BSD data-movement veneer: the socket interface "has ten different
+// ways to move data through a session (recv, recvfrom, recvmsg, read,
+// readv, and send, sendto, sendmsg, write, and writev)" — paper §3.2.
+// All ten are provided here over SocketApi, so existing-style BSD client
+// code recompiles against any placement (source-level compatibility goal,
+// §2.1).
+#ifndef PSD_SRC_API_BSD_H_
+#define PSD_SRC_API_BSD_H_
+
+#include <vector>
+
+#include "src/api/socket_api.h"
+
+namespace psd {
+
+struct IoVec {
+  uint8_t* base;
+  size_t len;
+};
+
+struct MsgHdr {
+  SockAddrIn* name = nullptr;  // source/destination endpoint
+  std::vector<IoVec> iov;
+};
+
+class BsdApi {
+ public:
+  explicit BsdApi(SocketApi* api) : api_(api) {}
+
+  // -- session setup --
+  Result<int> socket(IpProto proto) { return api_->CreateSocket(proto); }
+  Result<void> bind(int fd, SockAddrIn a) { return api_->Bind(fd, a); }
+  Result<void> listen(int fd, int backlog) { return api_->Listen(fd, backlog); }
+  Result<int> accept(int fd, SockAddrIn* peer) { return api_->Accept(fd, peer); }
+  Result<void> connect(int fd, SockAddrIn a) { return api_->Connect(fd, a); }
+  Result<void> close(int fd) { return api_->Close(fd); }
+  Result<void> shutdown(int fd, int how) {
+    return api_->Shutdown(fd, how == 0 || how == 2, how == 1 || how == 2);
+  }
+  Result<int> select(SelectFds* fds, SimDuration timeout) { return api_->Select(fds, timeout); }
+
+  // -- the five send variants --
+  Result<size_t> send(int fd, const uint8_t* p, size_t n) { return api_->Send(fd, p, n); }
+  Result<size_t> sendto(int fd, const uint8_t* p, size_t n, const SockAddrIn& to) {
+    return api_->Send(fd, p, n, &to);
+  }
+  Result<size_t> write(int fd, const uint8_t* p, size_t n) { return api_->Send(fd, p, n); }
+  Result<size_t> writev(int fd, const std::vector<IoVec>& iov) {
+    size_t total = 0;
+    for (const IoVec& v : iov) {
+      Result<size_t> r = api_->Send(fd, v.base, v.len);
+      if (!r.ok()) {
+        return total > 0 ? Result<size_t>(total) : r;
+      }
+      total += *r;
+      if (*r < v.len) {
+        return total;
+      }
+    }
+    return total;
+  }
+  Result<size_t> sendmsg(int fd, const MsgHdr& msg) {
+    size_t total = 0;
+    // Datagram semantics require one message: coalesce the iov.
+    std::vector<uint8_t> flat;
+    for (const IoVec& v : msg.iov) {
+      flat.insert(flat.end(), v.base, v.base + v.len);
+    }
+    Result<size_t> r = api_->Send(fd, flat.data(), flat.size(), msg.name);
+    if (!r.ok()) {
+      return r;
+    }
+    total = *r;
+    return total;
+  }
+
+  // -- the five receive variants --
+  Result<size_t> recv(int fd, uint8_t* p, size_t n, bool peek = false) {
+    return api_->Recv(fd, p, n, nullptr, peek);
+  }
+  Result<size_t> recvfrom(int fd, uint8_t* p, size_t n, SockAddrIn* from) {
+    return api_->Recv(fd, p, n, from);
+  }
+  Result<size_t> read(int fd, uint8_t* p, size_t n) { return api_->Recv(fd, p, n); }
+  Result<size_t> readv(int fd, const std::vector<IoVec>& iov) {
+    size_t total = 0;
+    for (const IoVec& v : iov) {
+      Result<size_t> r = api_->Recv(fd, v.base, v.len);
+      if (!r.ok()) {
+        return total > 0 ? Result<size_t>(total) : r;
+      }
+      total += *r;
+      if (*r < v.len) {
+        break;  // short read: stream drained / datagram consumed
+      }
+    }
+    return total;
+  }
+  Result<size_t> recvmsg(int fd, MsgHdr* msg) {
+    // Fill iovs from a single receive.
+    size_t want = 0;
+    for (const IoVec& v : msg->iov) {
+      want += v.len;
+    }
+    std::vector<uint8_t> flat(want);
+    Result<size_t> r = api_->Recv(fd, flat.data(), want, msg->name);
+    if (!r.ok()) {
+      return r;
+    }
+    size_t at = 0;
+    for (const IoVec& v : msg->iov) {
+      size_t take = std::min(v.len, *r - at);
+      std::memcpy(v.base, flat.data() + at, take);
+      at += take;
+      if (at >= *r) {
+        break;
+      }
+    }
+    return *r;
+  }
+
+  SocketApi* api() { return api_; }
+
+ private:
+  SocketApi* api_;
+};
+
+}  // namespace psd
+
+#endif  // PSD_SRC_API_BSD_H_

@@ -1,0 +1,73 @@
+// The placement-independent socket API. Applications and benchmarks program
+// against this interface; three implementations exist:
+//   * KernelNode   (src/api)  — protocols in the kernel (Mach 2.5 / Ultrix /
+//                               386BSD style),
+//   * UxServerNode (src/serv) — protocols in a UNIX server task (UX/BNR2SS
+//                               style),
+//   * LibraryNode  (src/core) — the paper's decomposition: protocols in a
+//                               per-application library plus an OS server.
+// The syntax and semantics follow the BSD socket interface; src/api/bsd.h
+// layers the ten BSD data-movement calls on top.
+#ifndef PSD_SRC_API_SOCKET_API_H_
+#define PSD_SRC_API_SOCKET_API_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/base/result.h"
+#include "src/base/time.h"
+#include "src/inet/addr.h"
+#include "src/mbuf/mbuf.h"
+
+namespace psd {
+
+enum class SockOpt {
+  kRcvBuf,
+  kSndBuf,
+  kNoDelay,
+  kKeepAlive,
+};
+
+struct SelectFds {
+  std::vector<int> read;   // in: descriptors to test; out via *_ready flags
+  std::vector<int> write;
+  std::vector<bool> read_ready;
+  std::vector<bool> write_ready;
+};
+
+class SocketApi {
+ public:
+  virtual ~SocketApi() = default;
+
+  virtual Result<int> CreateSocket(IpProto proto) = 0;
+  virtual Result<void> Bind(int fd, SockAddrIn local) = 0;
+  virtual Result<void> Listen(int fd, int backlog) = 0;
+  virtual Result<int> Accept(int fd, SockAddrIn* peer) = 0;
+  virtual Result<void> Connect(int fd, SockAddrIn remote) = 0;
+
+  virtual Result<size_t> Send(int fd, const uint8_t* data, size_t len,
+                              const SockAddrIn* to = nullptr) = 0;
+  virtual Result<size_t> Recv(int fd, uint8_t* out, size_t len, SockAddrIn* from = nullptr,
+                              bool peek = false) = 0;
+
+  // NEWAPI (paper §4.2): shared-buffer send/receive eliminating the copy
+  // between application and protocol stack. Placements without a fast path
+  // fall back to the classic copying semantics.
+  virtual Result<size_t> SendShared(int fd, std::shared_ptr<const std::vector<uint8_t>> buf,
+                                    size_t off, size_t len, const SockAddrIn* to = nullptr) = 0;
+  virtual Result<Chain> RecvChain(int fd, size_t max, SockAddrIn* from = nullptr) = 0;
+
+  virtual Result<void> SetOpt(int fd, SockOpt opt, size_t value) = 0;
+  virtual Result<void> Shutdown(int fd, bool rd, bool wr) = 0;
+  virtual Result<void> Close(int fd) = 0;
+
+  // Blocks until any tested descriptor is ready or `timeout` elapses
+  // (negative timeout: wait forever). Returns the number of ready fds.
+  virtual Result<int> Select(SelectFds* fds, SimDuration timeout) = 0;
+
+  virtual SockAddrIn LocalAddr(int fd) = 0;
+};
+
+}  // namespace psd
+
+#endif  // PSD_SRC_API_SOCKET_API_H_

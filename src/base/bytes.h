@@ -1,0 +1,32 @@
+// Big-endian (network order) load/store helpers for packet header fields.
+#ifndef PSD_SRC_BASE_BYTES_H_
+#define PSD_SRC_BASE_BYTES_H_
+
+#include <cstdint>
+
+namespace psd {
+
+inline void Store16(uint8_t* p, uint16_t v) {
+  p[0] = static_cast<uint8_t>(v >> 8);
+  p[1] = static_cast<uint8_t>(v);
+}
+
+inline void Store32(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v >> 24);
+  p[1] = static_cast<uint8_t>(v >> 16);
+  p[2] = static_cast<uint8_t>(v >> 8);
+  p[3] = static_cast<uint8_t>(v);
+}
+
+inline uint16_t Load16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] << 8 | p[1]);
+}
+
+inline uint32_t Load32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) << 24 | static_cast<uint32_t>(p[1]) << 16 |
+         static_cast<uint32_t>(p[2]) << 8 | static_cast<uint32_t>(p[3]);
+}
+
+}  // namespace psd
+
+#endif  // PSD_SRC_BASE_BYTES_H_

@@ -1,0 +1,41 @@
+#include "src/base/checksum.h"
+
+namespace psd {
+
+void ChecksumAccumulator::Add(const uint8_t* data, size_t len) {
+  size_t i = 0;
+  if (odd_ && len > 0) {
+    // Previous piece ended mid-word: this byte is the low half of that word.
+    sum_ += data[0];
+    i = 1;
+    odd_ = false;
+  }
+  for (; i + 1 < len; i += 2) {
+    sum_ += static_cast<uint64_t>(data[i]) << 8 | data[i + 1];
+  }
+  if (i < len) {
+    sum_ += static_cast<uint64_t>(data[i]) << 8;
+    odd_ = true;
+  }
+}
+
+void ChecksumAccumulator::AddWord(uint16_t word_host_order) {
+  // Must be called on a 16-bit boundary.
+  sum_ += word_host_order;
+}
+
+uint16_t ChecksumAccumulator::Finish() const {
+  uint64_t s = sum_;
+  while (s >> 16) {
+    s = (s & 0xffff) + (s >> 16);
+  }
+  return static_cast<uint16_t>(~s & 0xffff);
+}
+
+uint16_t InternetChecksum(const uint8_t* data, size_t len) {
+  ChecksumAccumulator acc;
+  acc.Add(data, len);
+  return acc.Finish();
+}
+
+}  // namespace psd

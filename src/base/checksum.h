@@ -1,0 +1,38 @@
+// RFC 1071 Internet checksum, as used by IP, ICMP, UDP and TCP.
+// Supports incremental accumulation across discontiguous buffers (mbuf
+// chains) including the odd-byte carry between fragments.
+#ifndef PSD_SRC_BASE_CHECKSUM_H_
+#define PSD_SRC_BASE_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace psd {
+
+// Accumulates the one's-complement sum over a sequence of byte ranges.
+// Byte ranges may be added in pieces of any length; `parity` tracks whether
+// an odd number of bytes has been consumed so far so that 16-bit alignment
+// is preserved across pieces.
+class ChecksumAccumulator {
+ public:
+  void Add(const uint8_t* data, size_t len);
+
+  // Convenience for 16-bit big-endian words already in host order fields of
+  // a pseudo header.
+  void AddWord(uint16_t word_host_order);
+
+  // Final one's-complement of the accumulated sum, in host order. The caller
+  // stores it big-endian in the packet.
+  uint16_t Finish() const;
+
+ private:
+  uint64_t sum_ = 0;
+  bool odd_ = false;  // true if an odd number of bytes consumed so far
+};
+
+// One-shot checksum of a contiguous buffer.
+uint16_t InternetChecksum(const uint8_t* data, size_t len);
+
+}  // namespace psd
+
+#endif  // PSD_SRC_BASE_CHECKSUM_H_

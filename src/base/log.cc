@@ -1,0 +1,104 @@
+#include "src/base/log.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "src/base/result.h"
+
+namespace psd {
+
+namespace {
+std::atomic<LogLevel> g_min_level{LogLevel::kWarn};
+std::mutex g_log_mu;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetMinLogLevel(LogLevel level) { g_min_level.store(level, std::memory_order_relaxed); }
+
+LogLevel MinLogLevel() { return g_min_level.load(std::memory_order_relaxed); }
+
+void LogLine(LogLevel level, const std::string& msg) {
+  if (level < MinLogLevel()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_log_mu);
+  std::fprintf(stderr, "[%s] %s\n", LevelName(level), msg.c_str());
+}
+
+const char* ErrName(Err e) {
+  switch (e) {
+    case Err::kOk:
+      return "OK";
+    case Err::kBadF:
+      return "EBADF";
+    case Err::kInval:
+      return "EINVAL";
+    case Err::kAcces:
+      return "EACCES";
+    case Err::kFault:
+      return "EFAULT";
+    case Err::kMsgSize:
+      return "EMSGSIZE";
+    case Err::kProtoNoSupport:
+      return "EPROTONOSUPPORT";
+    case Err::kOpNotSupp:
+      return "EOPNOTSUPP";
+    case Err::kAddrInUse:
+      return "EADDRINUSE";
+    case Err::kAddrNotAvail:
+      return "EADDRNOTAVAIL";
+    case Err::kNetUnreach:
+      return "ENETUNREACH";
+    case Err::kConnAborted:
+      return "ECONNABORTED";
+    case Err::kConnReset:
+      return "ECONNRESET";
+    case Err::kNoBufs:
+      return "ENOBUFS";
+    case Err::kIsConn:
+      return "EISCONN";
+    case Err::kNotConn:
+      return "ENOTCONN";
+    case Err::kShutdown:
+      return "ESHUTDOWN";
+    case Err::kTimedOut:
+      return "ETIMEDOUT";
+    case Err::kConnRefused:
+      return "ECONNREFUSED";
+    case Err::kHostUnreach:
+      return "EHOSTUNREACH";
+    case Err::kAlready:
+      return "EALREADY";
+    case Err::kInProgress:
+      return "EINPROGRESS";
+    case Err::kWouldBlock:
+      return "EWOULDBLOCK";
+    case Err::kPipe:
+      return "EPIPE";
+    case Err::kMFile:
+      return "EMFILE";
+    case Err::kIntr:
+      return "EINTR";
+  }
+  return "E?";
+}
+
+}  // namespace psd

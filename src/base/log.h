@@ -1,0 +1,38 @@
+// Minimal leveled logging. Off by default so deterministic benches stay
+// quiet; tests that want traces set MinLogLevel(LogLevel::kTrace).
+#ifndef PSD_SRC_BASE_LOG_H_
+#define PSD_SRC_BASE_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace psd {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+void LogLine(LogLevel level, const std::string& msg);
+
+// Stream-style logger: PSD_LOG(kDebug) << "tcp: " << seq;
+// The stream body is only evaluated when the level is enabled.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { LogLine(level_, stream_.str()); }
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+#define PSD_LOG(level)                               \
+  if (::psd::LogLevel::level < ::psd::MinLogLevel()) \
+    ;                                                \
+  else                                               \
+    ::psd::LogMessage(::psd::LogLevel::level).stream()
+
+}  // namespace psd
+
+#endif  // PSD_SRC_BASE_LOG_H_

@@ -1,0 +1,98 @@
+// Result<T>: value-or-error return type used throughout the socket and
+// protocol layers. Errors mirror the BSD errno values that the paper's socket
+// interface reports, so application code reads like BSD application code.
+#ifndef PSD_SRC_BASE_RESULT_H_
+#define PSD_SRC_BASE_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+namespace psd {
+
+// BSD-flavoured error codes. Values are arbitrary (not ABI errno values);
+// names match errno names so call sites read naturally.
+enum class Err {
+  kOk = 0,
+  kBadF,            // EBADF: not a valid descriptor
+  kInval,           // EINVAL
+  kAcces,           // EACCES
+  kFault,           // EFAULT
+  kMsgSize,         // EMSGSIZE: datagram too large
+  kProtoNoSupport,  // EPROTONOSUPPORT
+  kOpNotSupp,       // EOPNOTSUPP
+  kAddrInUse,       // EADDRINUSE
+  kAddrNotAvail,    // EADDRNOTAVAIL
+  kNetUnreach,      // ENETUNREACH
+  kConnAborted,     // ECONNABORTED
+  kConnReset,       // ECONNRESET
+  kNoBufs,          // ENOBUFS
+  kIsConn,          // EISCONN
+  kNotConn,         // ENOTCONN
+  kShutdown,        // ESHUTDOWN
+  kTimedOut,        // ETIMEDOUT
+  kConnRefused,     // ECONNREFUSED
+  kHostUnreach,     // EHOSTUNREACH
+  kAlready,         // EALREADY
+  kInProgress,      // EINPROGRESS
+  kWouldBlock,      // EWOULDBLOCK
+  kPipe,            // EPIPE: send on closed stream
+  kMFile,           // EMFILE: descriptor table full
+  kIntr,            // EINTR
+};
+
+// Human-readable errno-style name, for logs and test failure messages.
+const char* ErrName(Err e);
+
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit: allows `return value;` and `return Err::kInval;`.
+  Result(T value) : v_(std::move(value)) {}           // NOLINT(runtime/explicit)
+  Result(Err error) : v_(error) { assert(error != Err::kOk); }  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Err error() const { return ok() ? Err::kOk : std::get<Err>(v_); }
+
+ private:
+  std::variant<T, Err> v_;
+};
+
+template <>
+class Result<void> {
+ public:
+  Result() : e_(Err::kOk) {}
+  Result(Err error) : e_(error) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return e_ == Err::kOk; }
+  explicit operator bool() const { return ok(); }
+  Err error() const { return e_; }
+
+ private:
+  Err e_;
+};
+
+inline Result<void> OkResult() { return Result<void>(); }
+
+}  // namespace psd
+
+#endif  // PSD_SRC_BASE_RESULT_H_

@@ -1,0 +1,43 @@
+// Deterministic pseudo-random number generator (xorshift64*). Used for
+// initial sequence numbers, fault injection, and property tests. Never
+// seeded from wall clock: determinism is a system invariant.
+#ifndef PSD_SRC_BASE_RNG_H_
+#define PSD_SRC_BASE_RNG_H_
+
+#include <cstdint>
+
+namespace psd {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed ? seed : 1) {}
+
+  uint64_t Next() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545f4914f6cdd1dULL;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi].
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // True with probability p (0.0..1.0).
+  bool Chance(double p) {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace psd
+
+#endif  // PSD_SRC_BASE_RNG_H_

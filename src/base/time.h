@@ -1,0 +1,36 @@
+// Virtual time types. All time in the simulated system is virtual: a 64-bit
+// count of nanoseconds since simulation start. Wall-clock time never appears
+// in protocol or measurement code.
+#ifndef PSD_SRC_BASE_TIME_H_
+#define PSD_SRC_BASE_TIME_H_
+
+#include <cstdint>
+
+namespace psd {
+
+// A point in virtual time, in nanoseconds since simulation start.
+using SimTime = int64_t;
+
+// A span of virtual time, in nanoseconds.
+using SimDuration = int64_t;
+
+constexpr SimDuration kNanosecond = 1;
+constexpr SimDuration kMicrosecond = 1000;
+constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+constexpr SimDuration Nanos(int64_t n) { return n; }
+constexpr SimDuration Micros(int64_t n) { return n * kMicrosecond; }
+constexpr SimDuration Millis(int64_t n) { return n * kMillisecond; }
+constexpr SimDuration Seconds(int64_t n) { return n * kSecond; }
+
+constexpr double ToMicros(SimDuration d) { return static_cast<double>(d) / kMicrosecond; }
+constexpr double ToMillis(SimDuration d) { return static_cast<double>(d) / kMillisecond; }
+constexpr double ToSeconds(SimDuration d) { return static_cast<double>(d) / kSecond; }
+
+// Sentinel for "no deadline".
+constexpr SimTime kTimeNever = INT64_MAX;
+
+}  // namespace psd
+
+#endif  // PSD_SRC_BASE_TIME_H_

@@ -1,0 +1,661 @@
+#include "src/core/net_server.h"
+
+#include <cassert>
+
+#include "src/api/kernel_node.h"
+#include "src/base/log.h"
+#include "src/filter/session_filter.h"
+
+namespace psd {
+
+namespace {
+constexpr int kAppFilterPriority = 10;  // above the server catch-all
+}
+
+NetServer::NetServer(SimHost* host, int workers)
+    : host_(host),
+      control_port_(host->sim(), host->prof(), host->name() + "/ns-ctl"),
+      packet_port_(host->sim(), host->prof(), host->name() + "/ns-pkt",
+                   PortCosts::PacketDelivery(*host->prof())) {
+  StackParams params;
+  params.sim = host->sim();
+  params.cpu = host->cpu();
+  params.prof = host->prof();
+  params.placement = Placement::kServer;
+  Kernel* kernel = host->kernel();
+  params.send_frame = [kernel](Frame f) { kernel->NetSendFromUser(std::move(f)); };
+  params.ip = host->ip();
+  params.mac = host->mac();
+  params.with_arp = true;
+  params.sync_pair_cost = host->prof()->sync_spl_emulated;
+  params.name = host->name() + "/ns";
+  stack_ = std::make_unique<Stack>(params);
+  stack_->routes().Add(Ipv4Addr(host->ip().v & 0xffffff00), Ipv4Addr(0xffffff00),
+                       Ipv4Addr::Any());
+
+  // Strays for tuples in application hands are dropped, not RST.
+  stack_->tcp().SetRstSuppressor([this](const SockAddrIn& l, const SockAddrIn& r) {
+    return suppressed_.count(TupleKey(l, r)) > 0;
+  });
+
+  // Metastate invalidation callbacks into registered applications (§3.3):
+  // queued here, delivered by the callback thread.
+  callback_wq_ = std::make_unique<WaitQueue>(host->sim());
+  stack_->arp()->SetChangeHook([this](Ipv4Addr ip) {
+    for (auto& [id, lib] : libraries_) {
+      if (lib.subscriber != nullptr) {
+        pending_callbacks_.emplace_back(id, ip);
+      }
+    }
+    callback_wq_->NotifyOne();
+  });
+
+  // The server receives everything the per-session filters don't claim.
+  kernel->InstallFilter(CompileCatchAllFilter(), /*priority=*/0,
+                        DeliveryEndpoint{DeliverKind::kIpc, nullptr, &packet_port_});
+  threads_.push_back(
+      host->sim()->Spawn(host->name() + "/ns-in", host->cpu(), [this] { InputBody(); }));
+  threads_.push_back(
+      host->sim()->Spawn(host->name() + "/ns-cb", host->cpu(), [this] { CallbackBody(); }));
+  for (int i = 0; i < workers; i++) {
+    threads_.push_back(host->sim()->Spawn(host->name() + "/ns-w" + std::to_string(i),
+                                          host->cpu(), [this] { WorkerBody(); }));
+  }
+}
+
+NetServer::~NetServer() {
+  if (!host_->sim()->shutting_down()) {
+    for (SimThread* t : threads_) {
+      host_->sim()->KillThread(t);
+    }
+  }
+}
+
+void NetServer::SetStageRecorder(StageRecorder* rec) {
+  stack_->env()->probe = rec;
+  host_->kernel()->SetStageRecorder(rec);
+}
+
+uint64_t NetServer::RegisterLibrary(DeliveryEndpoint endpoint, MetastateSubscriber* subscriber) {
+  uint64_t id = next_lib_++;
+  libraries_[id] = LibraryRec{endpoint, subscriber};
+  return id;
+}
+
+void NetServer::InputBody() {
+  IpcMessage msg;
+  for (;;) {
+    if (!packet_port_.Receive(&msg)) {
+      continue;
+    }
+    stack_->InputFrame(msg.payload);
+  }
+}
+
+void NetServer::CallbackBody() {
+  SimThread* self = host_->sim()->current_thread();
+  for (;;) {
+    while (!pending_callbacks_.empty()) {
+      auto [lib_id, ip] = pending_callbacks_.front();
+      pending_callbacks_.pop_front();
+      auto it = libraries_.find(lib_id);
+      if (it == libraries_.end() || it->second.subscriber == nullptr) {
+        continue;
+      }
+      // One callback message per application cache.
+      self->Charge(host_->prof()->ipc_fixed);
+      arp_callbacks_sent_++;
+      it->second.subscriber->InvalidateArpEntry(ip);
+    }
+    self->WaitOn(callback_wq_.get());
+  }
+}
+
+void NetServer::WorkerBody() {
+  IpcMessage msg;
+  for (;;) {
+    if (!control_port_.Receive(&msg)) {
+      continue;
+    }
+    IpcMessage reply = Handle(msg);
+    if (msg.reply_port != nullptr) {
+      msg.reply_port->Send(std::move(reply));
+    }
+  }
+}
+
+Result<NetServer::Session*> NetServer::Find(uint64_t sid) {
+  auto it = sessions_.find(sid);
+  if (it == sessions_.end()) {
+    return Err::kBadF;
+  }
+  return &it->second;
+}
+
+void NetServer::InstallSessionFilter(Session* s) {
+  auto lib = libraries_.find(s->owner_lib);
+  assert(lib != libraries_.end());
+  s->filter_id = host_->kernel()->InstallFilter(CompileSessionFilter(s->tuple),
+                                                kAppFilterPriority, lib->second.endpoint);
+}
+
+void NetServer::RemoveSessionFilter(Session* s) {
+  if (s->filter_id != 0) {
+    host_->kernel()->RemoveFilter(s->filter_id);
+    s->filter_id = 0;
+  }
+}
+
+std::vector<uint8_t> NetServer::MigrateTcpOut(Session* s) {
+  // Order matters: mark the tuple in handover and aim the packet filter at
+  // the application before extracting the state, so nothing arriving during
+  // the handover is answered with a stale RST by the server stack; anything
+  // lost in flight is recovered by normal retransmission (§3.1).
+  TcpPcb* pcb = s->sock->DetachTcpPcb();
+  s->tuple = SessionTuple{IpProto::kTcp, pcb->local, pcb->remote};
+  suppressed_.insert(TupleKey(pcb->local, pcb->remote));
+  InstallSessionFilter(s);
+  TcpMigrationState st;
+  {
+    DomainLock lock(stack_->sync());
+    s->shadow_snd_nxt = pcb->snd_nxt;
+    st = stack_->tcp().ExtractForMigration(pcb);
+  }
+  s->sock.reset();
+  s->where = Where::kApp;
+  migrations_out_++;
+  return st.Encode();
+}
+
+IpcMessage NetServer::Handle(const IpcMessage& req) {
+  switch (static_cast<ProxyOp>(req.kind)) {
+    case ProxyOp::kProxySocket:
+      return HandleSocket(req);
+    case ProxyOp::kProxyBind:
+      return HandleBind(req);
+    case ProxyOp::kProxyConnect:
+      return HandleConnect(req);
+    case ProxyOp::kProxyListen:
+      return HandleListen(req);
+    case ProxyOp::kProxyAccept:
+      return HandleAccept(req);
+    case ProxyOp::kProxyReturn:
+      return HandleReturn(req);
+    case ProxyOp::kProxyDup: {
+      IpcMessage reply;
+      Result<Session*> sr = Find(req.arg[1]);
+      if (!sr.ok()) {
+        reply.arg[0] = static_cast<uint64_t>(sr.error());
+        return reply;
+      }
+      (*sr)->refcount++;
+      return reply;
+    }
+    case ProxyOp::kProxyStatus: {
+      // One-way notification from an application's library (select
+      // cooperation): wake the matching cooperative select.
+      uint64_t token = req.arg[2];
+      auto it = select_waiters_.find(token);
+      if (it != select_waiters_.end()) {
+        it->second->pinged = true;
+        it->second->cv.NotifyAll();
+      } else {
+        auto w = std::make_unique<SelectWaiter>(host_->sim());
+        w->pinged = true;
+        select_waiters_[token] = std::move(w);
+      }
+      return IpcMessage{};
+    }
+    case ProxyOp::kProxySelect:
+      return HandleSelect(req);
+    case ProxyOp::kProxyArpLookup:
+    case ProxyOp::kProxyRouteLookup:
+      return HandleMetastate(req);
+    default:
+      return HandleForwarded(req);
+  }
+}
+
+IpcMessage NetServer::HandleSocket(const IpcMessage& req) {
+  IpcMessage reply;
+  IpProto proto = static_cast<IpProto>(req.arg[2]);
+  uint64_t lib = req.arg[3];
+  if (proto != IpProto::kTcp && proto != IpProto::kUdp) {
+    reply.arg[0] = static_cast<uint64_t>(Err::kProtoNoSupport);
+    return reply;
+  }
+  uint64_t sid = next_sid_++;
+  Session& s = sessions_[sid];
+  s.proto = proto;
+  s.owner_lib = lib;
+  s.tuple.proto = proto;
+  if (proto == IpProto::kTcp) {
+    s.sock = std::make_unique<Socket>(stack_.get(), IpProto::kTcp);
+  }
+  // UDP sessions hold no server pcb until bound.
+  reply.arg[1] = sid;
+  return reply;
+}
+
+IpcMessage NetServer::HandleBind(const IpcMessage& req) {
+  IpcMessage reply;
+  Result<Session*> sr = Find(req.arg[1]);
+  if (!sr.ok()) {
+    reply.arg[0] = static_cast<uint64_t>(sr.error());
+    return reply;
+  }
+  Session* s = *sr;
+  Decoder d(req.payload);
+  SockAddrIn want = DecodeAddr(&d);
+
+  if (s->proto == IpProto::kTcp) {
+    Result<void> r = s->sock->Bind(want);
+    if (!r.ok()) {
+      reply.arg[0] = static_cast<uint64_t>(r.error());
+      return reply;
+    }
+    Encoder e;
+    EncodeAddr(&e, s->sock->local_addr());
+    reply.payload = e.Take();
+    return reply;
+  }
+
+  // UDP: allocate the endpoint in the server's port namespace and migrate
+  // the (stateless) session to the application immediately: install its
+  // packet filter and return the binding (paper Table 1: "UDP sessions
+  // migrate to the application").
+  Result<uint16_t> port = stack_->ports().Acquire(want.port);
+  if (!port.ok()) {
+    reply.arg[0] = static_cast<uint64_t>(port.error());
+    return reply;
+  }
+  SockAddrIn local{want.addr.IsAny() ? host_->ip() : want.addr, *port};
+  s->tuple = SessionTuple{IpProto::kUdp, local, SockAddrIn{}};
+  s->where = Where::kApp;
+  InstallSessionFilter(s);
+  migrations_out_++;
+  Encoder e;
+  EncodeAddr(&e, local);
+  reply.payload = e.Take();
+  return reply;
+}
+
+IpcMessage NetServer::HandleConnect(const IpcMessage& req) {
+  IpcMessage reply;
+  Result<Session*> sr = Find(req.arg[1]);
+  if (!sr.ok()) {
+    reply.arg[0] = static_cast<uint64_t>(sr.error());
+    return reply;
+  }
+  Session* s = *sr;
+  Decoder d(req.payload);
+  SockAddrIn remote = DecodeAddr(&d);
+
+  if (s->proto == IpProto::kUdp) {
+    // Bind if needed, then migrate with the remote endpoint fixed.
+    if (s->where == Where::kApp) {
+      // Rebinding the filter with the connected remote narrows delivery.
+      RemoveSessionFilter(s);
+    } else {
+      Result<uint16_t> port = stack_->ports().Acquire(0);
+      if (!port.ok()) {
+        reply.arg[0] = static_cast<uint64_t>(port.error());
+        return reply;
+      }
+      s->tuple.local = SockAddrIn{host_->ip(), *port};
+      s->where = Where::kApp;
+      migrations_out_++;
+    }
+    s->tuple.remote = remote;
+    InstallSessionFilter(s);
+    Encoder e;
+    EncodeAddr(&e, s->tuple.local);
+    EncodeAddr(&e, remote);
+    reply.payload = e.Take();
+    return reply;
+  }
+
+  // TCP: the server performs connection establishment (§3.2: "Connection
+  // establishment is managed entirely by the operating system"), then the
+  // established session migrates into the application.
+  Result<void> r = s->sock->Connect(remote);
+  stack_->Kick();
+  if (!r.ok()) {
+    reply.arg[0] = static_cast<uint64_t>(r.error());
+    return reply;
+  }
+  SockAddrIn local = s->sock->local_addr();
+  std::vector<uint8_t> state = MigrateTcpOut(s);
+  Encoder e;
+  EncodeAddr(&e, local);
+  EncodeAddr(&e, remote);
+  e.Bytes(state);
+  reply.payload = e.Take();
+  return reply;
+}
+
+IpcMessage NetServer::HandleListen(const IpcMessage& req) {
+  IpcMessage reply;
+  Result<Session*> sr = Find(req.arg[1]);
+  if (!sr.ok() || (*sr)->proto != IpProto::kTcp) {
+    reply.arg[0] = static_cast<uint64_t>(sr.ok() ? Err::kOpNotSupp : sr.error());
+    return reply;
+  }
+  Result<void> r = (*sr)->sock->Listen(static_cast<int>(req.arg[2]));
+  if (!r.ok()) {
+    reply.arg[0] = static_cast<uint64_t>(r.error());
+  }
+  return reply;
+}
+
+IpcMessage NetServer::HandleAccept(const IpcMessage& req) {
+  IpcMessage reply;
+  Result<Session*> sr = Find(req.arg[1]);
+  if (!sr.ok() || (*sr)->proto != IpProto::kTcp) {
+    reply.arg[0] = static_cast<uint64_t>(sr.ok() ? Err::kOpNotSupp : sr.error());
+    return reply;
+  }
+  Session* listener = *sr;
+  SockAddrIn peer;
+  Result<std::unique_ptr<Socket>> child = listener->sock->Accept(&peer);
+  if (!child.ok()) {
+    reply.arg[0] = static_cast<uint64_t>(child.error());
+    return reply;
+  }
+  uint64_t sid = next_sid_++;
+  Session& cs = sessions_[sid];
+  cs.proto = IpProto::kTcp;
+  cs.owner_lib = listener->owner_lib;
+  cs.sock = std::move(*child);
+  SockAddrIn local = cs.sock->local_addr();
+  std::vector<uint8_t> state = MigrateTcpOut(&cs);
+  reply.arg[1] = sid;
+  Encoder e;
+  EncodeAddr(&e, local);
+  EncodeAddr(&e, peer);
+  e.Bytes(state);
+  reply.payload = e.Take();
+  return reply;
+}
+
+IpcMessage NetServer::HandleReturn(const IpcMessage& req) {
+  IpcMessage reply;
+  Result<Session*> sr = Find(req.arg[1]);
+  if (!sr.ok()) {
+    reply.arg[0] = static_cast<uint64_t>(sr.error());
+    return reply;
+  }
+  Session* s = *sr;
+  bool close_after = req.arg[2] != 0;
+
+  if (s->where == Where::kApp) {
+    RemoveSessionFilter(s);
+    if (s->proto == IpProto::kTcp) {
+      Decoder d(req.payload);
+      std::vector<uint8_t> state_bytes = d.Bytes();
+      Result<TcpMigrationState> st = TcpMigrationState::Decode(state_bytes);
+      if (!st.ok()) {
+        reply.arg[0] = static_cast<uint64_t>(st.error());
+        return reply;
+      }
+      TcpPcb* pcb = nullptr;
+      {
+        DomainLock lock(stack_->sync());
+        pcb = stack_->tcp().AdoptMigrated(*st);
+      }
+      suppressed_.erase(TupleKey(st->local, st->remote));
+      s->sock = std::make_unique<Socket>(stack_.get(), pcb);
+      stack_->Kick();
+      migrations_in_++;
+    } else {
+      // UDP: recreate the binding server-side.
+      UdpPcb* pcb = nullptr;
+      {
+        DomainLock lock(stack_->sync());
+        pcb = stack_->udp().Create();
+        stack_->udp().AdoptBinding(pcb, s->tuple.local);
+        pcb->remote = s->tuple.remote;
+      }
+      s->sock = std::make_unique<Socket>(stack_.get(), pcb);
+      migrations_in_++;
+    }
+    s->where = Where::kServer;
+  }
+
+  if (close_after) {
+    // Clean shutdown runs here: the FIN handshake and TIME_WAIT outlive the
+    // application's interest in the session (§3.2).
+    if (--s->refcount <= 0) {
+      if (s->sock != nullptr) {
+        s->sock->Close();
+      }
+      if (s->tuple.local.port != 0) {
+        stack_->ports().Release(s->tuple.local.port);
+      }
+      sessions_.erase(req.arg[1]);
+    }
+  }
+  return reply;
+}
+
+IpcMessage NetServer::HandleSelect(const IpcMessage& req) {
+  IpcMessage reply;
+  uint64_t token = req.arg[2];
+  int64_t timeout = static_cast<int64_t>(req.arg[3]);
+  Decoder d(req.payload);
+  uint32_t n = d.U32();
+  std::vector<Socket*> rd;
+  for (uint32_t i = 0; i < n; i++) {
+    Result<Session*> sr = Find(d.U64());
+    rd.push_back(sr.ok() && (*sr)->sock != nullptr ? (*sr)->sock.get() : nullptr);
+  }
+  SelectWaiter* w;
+  auto it = select_waiters_.find(token);
+  if (it == select_waiters_.end()) {
+    auto owned = std::make_unique<SelectWaiter>(host_->sim());
+    w = owned.get();
+    select_waiters_[token] = std::move(owned);
+  } else {
+    w = it->second.get();
+  }
+  std::vector<bool> rready, wready;
+  std::vector<Socket*> none;
+  int ready = SelectSockets(stack_.get(), rd, none, timeout, &rready, &wready, &w->cv, &w->pinged);
+  bool pinged = w->pinged;
+  select_waiters_.erase(token);
+  Encoder e;
+  e.U32(static_cast<uint32_t>(ready));
+  e.U8(pinged ? 1 : 0);
+  for (bool b : rready) {
+    e.U8(b ? 1 : 0);
+  }
+  reply.payload = e.Take();
+  return reply;
+}
+
+IpcMessage NetServer::HandleMetastate(const IpcMessage& req) {
+  IpcMessage reply;
+  if (static_cast<ProxyOp>(req.kind) == ProxyOp::kProxyArpLookup) {
+    Ipv4Addr ip(static_cast<uint32_t>(req.arg[2]));
+    DomainLock lock(stack_->sync());
+    Result<MacAddr> mac = stack_->arp()->ResolveBlocking(ip);
+    if (!mac.ok()) {
+      reply.arg[0] = static_cast<uint64_t>(mac.error());
+      return reply;
+    }
+    reply.payload.assign(mac->b.begin(), mac->b.end());
+    return reply;
+  }
+  // Route lookup.
+  Ipv4Addr dst(static_cast<uint32_t>(req.arg[2]));
+  auto route = stack_->routes().Lookup(dst);
+  if (!route) {
+    reply.arg[0] = static_cast<uint64_t>(Err::kNetUnreach);
+    return reply;
+  }
+  Encoder e;
+  e.U32(route->dest.v);
+  e.U32(route->mask.v);
+  e.U32(route->gateway.v);
+  reply.payload = e.Take();
+  return reply;
+}
+
+IpcMessage NetServer::HandleForwarded(const IpcMessage& req) {
+  IpcMessage reply;
+  Result<Session*> sr = Find(req.arg[1]);
+  if (!sr.ok()) {
+    reply.arg[0] = static_cast<uint64_t>(sr.error());
+    return reply;
+  }
+  Session* s = *sr;
+  if (s->where != Where::kServer || (s->sock == nullptr &&
+                                     static_cast<ProxyOp>(req.kind) != ProxyOp::kProxyFwdClose)) {
+    reply.arg[0] = static_cast<uint64_t>(Err::kInval);
+    return reply;
+  }
+  switch (static_cast<ProxyOp>(req.kind)) {
+    case ProxyOp::kProxyFwdSend: {
+      SockAddrIn to;
+      const SockAddrIn* top = nullptr;
+      if (req.arg[2] != 0) {
+        to.addr = Ipv4Addr(static_cast<uint32_t>(req.arg[3] >> 16));
+        to.port = static_cast<uint16_t>(req.arg[3] & 0xffff);
+        top = &to;
+      }
+      Result<size_t> r = s->sock->Send(req.payload.data(), req.payload.size(), top);
+      stack_->Kick();
+      if (!r.ok()) {
+        reply.arg[0] = static_cast<uint64_t>(r.error());
+        return reply;
+      }
+      reply.arg[1] = *r;
+      return reply;
+    }
+    case ProxyOp::kProxyFwdRecv: {
+      size_t max = req.arg[2];
+      std::vector<uint8_t> buf(max);
+      SockAddrIn from;
+      Result<size_t> r = s->sock->Recv(buf.data(), max, &from, req.arg[3] != 0);
+      if (!r.ok()) {
+        reply.arg[0] = static_cast<uint64_t>(r.error());
+        return reply;
+      }
+      buf.resize(*r);
+      reply.arg[1] = *r;
+      reply.arg[2] = static_cast<uint64_t>(from.addr.v) << 16 | from.port;
+      reply.payload = std::move(buf);
+      return reply;
+    }
+    case ProxyOp::kProxyFwdClose: {
+      if (--s->refcount <= 0) {
+        if (s->sock != nullptr) {
+          s->sock->Close();
+        }
+        sessions_.erase(req.arg[1]);
+      }
+      return reply;
+    }
+    case ProxyOp::kProxyFwdShutdown: {
+      Result<void> r = s->sock->Shutdown(req.arg[2] != 0, req.arg[3] != 0);
+      if (!r.ok()) {
+        reply.arg[0] = static_cast<uint64_t>(r.error());
+      }
+      return reply;
+    }
+    case ProxyOp::kProxyFwdSetOpt: {
+      Result<void> r = ApplySockOpt(s->sock.get(), static_cast<SockOpt>(req.arg[2]),
+                                    static_cast<size_t>(req.arg[3]));
+      if (!r.ok()) {
+        reply.arg[0] = static_cast<uint64_t>(r.error());
+      }
+      return reply;
+    }
+    case ProxyOp::kProxyFwdLocalAddr: {
+      Encoder e;
+      EncodeAddr(&e, s->sock->local_addr());
+      reply.payload = e.Take();
+      return reply;
+    }
+    case ProxyOp::kProxyFwdListen: {
+      Result<void> r = s->sock->Listen(static_cast<int>(req.arg[2]));
+      if (!r.ok()) {
+        reply.arg[0] = static_cast<uint64_t>(r.error());
+      }
+      return reply;
+    }
+    case ProxyOp::kProxyFwdBind: {
+      Decoder d(req.payload);
+      Result<void> r = s->sock->Bind(DecodeAddr(&d));
+      if (!r.ok()) {
+        reply.arg[0] = static_cast<uint64_t>(r.error());
+        return reply;
+      }
+      Encoder e;
+      EncodeAddr(&e, s->sock->local_addr());
+      reply.payload = e.Take();
+      return reply;
+    }
+    case ProxyOp::kProxyFwdConnect: {
+      Decoder d(req.payload);
+      Result<void> r = s->sock->Connect(DecodeAddr(&d));
+      stack_->Kick();
+      if (!r.ok()) {
+        reply.arg[0] = static_cast<uint64_t>(r.error());
+      }
+      return reply;
+    }
+    case ProxyOp::kProxyFwdAccept: {
+      SockAddrIn peer;
+      Result<std::unique_ptr<Socket>> child = s->sock->Accept(&peer);
+      if (!child.ok()) {
+        reply.arg[0] = static_cast<uint64_t>(child.error());
+        return reply;
+      }
+      uint64_t sid = next_sid_++;
+      Session& cs = sessions_[sid];
+      cs.proto = IpProto::kTcp;
+      cs.owner_lib = s->owner_lib;
+      cs.sock = std::move(*child);
+      cs.tuple = SessionTuple{IpProto::kTcp, cs.sock->local_addr(), peer};
+      reply.arg[1] = sid;
+      Encoder e;
+      EncodeAddr(&e, peer);
+      reply.payload = e.Take();
+      return reply;
+    }
+    default:
+      reply.arg[0] = static_cast<uint64_t>(Err::kOpNotSupp);
+      return reply;
+  }
+}
+
+void NetServer::OnProcessDeath(uint64_t lib_id) {
+  // §3.2: "The operating system ... can detect the death of processes that
+  // are managing network connections, abort outstanding connections by
+  // sending reset messages to remote peers."
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    Session& s = it->second;
+    if (s.owner_lib != lib_id) {
+      ++it;
+      continue;
+    }
+    if (s.where == Where::kApp) {
+      RemoveSessionFilter(&s);
+      if (s.proto == IpProto::kTcp) {
+        DomainLock lock(stack_->sync());
+        stack_->tcp().SendRawRst(s.tuple.local, s.tuple.remote, s.shadow_snd_nxt);
+        suppressed_.erase(TupleKey(s.tuple.local, s.tuple.remote));
+      }
+      if (s.tuple.local.port != 0) {
+        stack_->ports().Release(s.tuple.local.port);
+      }
+    } else if (s.sock != nullptr) {
+      s.sock->Close();
+    }
+    it = sessions_.erase(it);
+  }
+  libraries_.erase(lib_id);
+}
+
+}  // namespace psd

@@ -1,0 +1,150 @@
+// The operating-system server of the paper's decomposition (§3).
+//
+// It owns everything that is *not* the performance-critical data path:
+//   * session creation, naming (the port namespace), and teardown;
+//   * connection establishment (listen/accept/connect handshakes run here,
+//     then established sessions migrate into the application);
+//   * per-session packet-filter installation in the kernel;
+//   * long-lived shared metastate (routes, ARP) that applications cache,
+//     with invalidation callbacks (§3.3);
+//   * sessions returned by applications (fork semantics, clean close: the
+//     FIN handshake and TIME_WAIT run here, §3.2);
+//   * crash cleanup: when a process dies, its sessions are aborted with
+//     RSTs to the remote peers (§3.2);
+//   * the cooperative half of select (§3.2).
+#ifndef PSD_SRC_CORE_NET_SERVER_H_
+#define PSD_SRC_CORE_NET_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/core/proxy_protocol.h"
+#include "src/ipc/port.h"
+#include "src/kern/host.h"
+#include "src/sock/select.h"
+#include "src/sock/socket.h"
+
+namespace psd {
+
+// Interface the server uses to push metastate invalidations into an
+// application's cache (implemented by ProtocolLibrary).
+class MetastateSubscriber {
+ public:
+  virtual ~MetastateSubscriber() = default;
+  virtual void InvalidateArpEntry(Ipv4Addr ip) = 0;
+  virtual void InvalidateRoutes() = 0;
+};
+
+class NetServer {
+ public:
+  explicit NetServer(SimHost* host, int workers = 8);
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  Port* control_port() { return &control_port_; }
+  Stack* stack() { return stack_.get(); }
+  SimHost* host() { return host_; }
+  void SetStageRecorder(StageRecorder* rec);
+
+  // Registers an application's protocol library: its packet delivery
+  // endpoint (all of the app's sessions share it) and its metastate
+  // callback. Returns the library id used in proxy calls.
+  uint64_t RegisterLibrary(DeliveryEndpoint endpoint, MetastateSubscriber* subscriber);
+
+  // Process-death cleanup (paper §3.2): aborts all sessions owned by the
+  // library — removes their filters and sends best-effort RSTs to peers.
+  void OnProcessDeath(uint64_t lib_id);
+
+  // Diagnostics.
+  size_t session_count() const { return sessions_.size(); }
+  uint64_t migrations_out() const { return migrations_out_; }
+  uint64_t migrations_in() const { return migrations_in_; }
+  uint64_t arp_callbacks_sent() const { return arp_callbacks_sent_; }
+
+ private:
+  enum class Where { kServer, kApp };
+
+  struct Session {
+    IpProto proto = IpProto::kTcp;
+    Where where = Where::kServer;
+    uint64_t owner_lib = 0;
+    int refcount = 1;  // shared descriptor tables after fork
+    std::unique_ptr<Socket> sock;  // server-managed state
+    SessionTuple tuple;            // last known endpoints
+    uint64_t filter_id = 0;        // installed app filter (app-managed)
+    uint32_t shadow_snd_nxt = 0;   // best-effort RST sequence after crash
+  };
+
+  struct LibraryRec {
+    DeliveryEndpoint endpoint;
+    MetastateSubscriber* subscriber = nullptr;
+  };
+
+  struct SelectWaiter {
+    SimCondition cv;
+    bool pinged = false;
+    explicit SelectWaiter(Simulator* sim) : cv(sim) {}
+  };
+
+  void InputBody();
+  void WorkerBody();
+  void CallbackBody();
+  IpcMessage Handle(const IpcMessage& req);
+
+  Result<Session*> Find(uint64_t sid);
+  // Migrates a server-side established TCP session into the owner app:
+  // extracts state, installs the session filter, marks the tuple in
+  // handover. Returns the encoded migration state.
+  std::vector<uint8_t> MigrateTcpOut(Session* s);
+  void InstallSessionFilter(Session* s);
+  void RemoveSessionFilter(Session* s);
+
+  // Proxy handlers.
+  IpcMessage HandleSocket(const IpcMessage& req);
+  IpcMessage HandleBind(const IpcMessage& req);
+  IpcMessage HandleConnect(const IpcMessage& req);
+  IpcMessage HandleListen(const IpcMessage& req);
+  IpcMessage HandleAccept(const IpcMessage& req);
+  IpcMessage HandleReturn(const IpcMessage& req);
+  IpcMessage HandleSelect(const IpcMessage& req);
+  IpcMessage HandleMetastate(const IpcMessage& req);
+  IpcMessage HandleForwarded(const IpcMessage& req);
+
+  SimHost* host_;
+  std::unique_ptr<Stack> stack_;
+  Port control_port_;
+  Port packet_port_;
+  std::vector<SimThread*> threads_;
+
+  std::map<uint64_t, Session> sessions_;
+  uint64_t next_sid_ = 1;
+  std::map<uint64_t, LibraryRec> libraries_;
+  uint64_t next_lib_ = 1;
+  // Tuples whose pcb is currently app-managed or in handover: the server
+  // stack must not answer their strays with RST.
+  static uint64_t TupleKey(const SockAddrIn& local, const SockAddrIn& remote) {
+    return static_cast<uint64_t>(local.port) << 48 | static_cast<uint64_t>(remote.port) << 32 |
+           remote.addr.v;
+  }
+  std::set<uint64_t> suppressed_;
+  std::map<uint64_t, std::unique_ptr<SelectWaiter>> select_waiters_;
+  uint64_t next_select_token_ = 1;
+  // Pending metastate invalidation callbacks, delivered asynchronously by a
+  // dedicated thread (a real system sends an IPC message; delivering them
+  // synchronously from packet processing would deadlock with applications
+  // blocked mid-send on a metastate RPC).
+  std::deque<std::pair<uint64_t, Ipv4Addr>> pending_callbacks_;
+  std::unique_ptr<WaitQueue> callback_wq_;
+
+  uint64_t migrations_out_ = 0;
+  uint64_t migrations_in_ = 0;
+  uint64_t arp_callbacks_sent_ = 0;
+};
+
+}  // namespace psd
+
+#endif  // PSD_SRC_CORE_NET_SERVER_H_

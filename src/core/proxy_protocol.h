@@ -1,0 +1,58 @@
+// The proxy <-> operating-system-server protocol (paper Table 1).
+//
+// The proxy in each application exports the standard socket interface and
+// implements it with these calls on the OS server. Send/receive never
+// appear here for app-managed sessions: once a session is migrated into the
+// application, data transfer happens entirely in the protocol library.
+#ifndef PSD_SRC_CORE_PROXY_PROTOCOL_H_
+#define PSD_SRC_CORE_PROXY_PROTOCOL_H_
+
+#include <cstdint>
+
+#include "src/base/codec.h"
+#include "src/inet/addr.h"
+
+namespace psd {
+
+enum class ProxyOp : uint32_t {
+  // Table 1 calls.
+  kProxySocket = 100,  // create server-managed session
+  kProxyBind,          // set local endpoint; UDP sessions migrate to the app
+  kProxyConnect,       // set remote endpoint; UDP and TCP sessions migrate
+  kProxyListen,        // open passively; server awaits connections
+  kProxyAccept,        // migrate passively-opened session to the app
+  kProxyReturn,        // return a session to the server (fork, clean close)
+  kProxyDup,           // bump a session's descriptor refcount (fork)
+  kProxyStatus,        // one-way: app session readiness changed (select)
+  kProxySelect,        // cooperative select over server-managed sessions
+  // Shared metastate (§3.3).
+  kProxyArpLookup,
+  kProxyRouteLookup,
+  // Forwarded socket ops for server-managed sessions (after fork/return).
+  kProxyFwdSend = 200,
+  kProxyFwdRecv,
+  kProxyFwdClose,
+  kProxyFwdShutdown,
+  kProxyFwdSetOpt,
+  kProxyFwdLocalAddr,
+  kProxyFwdAccept,
+  kProxyFwdListen,
+  kProxyFwdConnect,
+  kProxyFwdBind,
+};
+
+inline void EncodeAddr(Encoder* e, const SockAddrIn& a) {
+  e->U32(a.addr.v);
+  e->U16(a.port);
+}
+
+inline SockAddrIn DecodeAddr(Decoder* d) {
+  SockAddrIn a;
+  a.addr = Ipv4Addr(d->U32());
+  a.port = d->U16();
+  return a;
+}
+
+}  // namespace psd
+
+#endif  // PSD_SRC_CORE_PROXY_PROTOCOL_H_

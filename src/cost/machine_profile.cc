@@ -1,0 +1,118 @@
+#include "src/cost/machine_profile.h"
+
+namespace psd {
+
+// Calibration sources (all one-way microseconds from Table 4 of the paper,
+// DECstation 5000/200, unless noted):
+//
+//   copy_per_byte     129 ns/B  from in-kernel copyout/exit: (220-32)/1459
+//   ipc_per_byte      138 ns/B  from server copyout/exit: (1028-222)/(4*1459)
+//   devread_per_byte  ~275 ns/B from in-kernel device intr/read (469-77)/1459
+//                               and library kernel-copyout (534-123)/1459
+//   devwrite_per_byte  21 ns/B  from in-kernel ether_output (105-75)/1459
+//   checksum_per_byte ~140 ns/B from tcp_input (270-76)/1459 = 133 and
+//                               udp_input (279-67)/1471 = 144
+//   trap               ~30 us   kernel entry/copyin(1B) 50 minus library
+//                               entry (19), which has no kernel crossing
+//   wakeup_kernel       54 us   in-kernel "wakeup user thread" row
+//   wakeup_user         92 us   library "wakeup user thread" row
+//   wakeup_cross       115 us   server RPC legs: entry 254 = trap 30 +
+//                               ipc_fixed 90 + wakeup_cross 115 + socket
+//                               entry ~18; reply 222 = 90 + 115 + exit ~17
+//   intr_fixed          42 us   library device intr/read row (field only,
+//                               no copy: the integrated filter defers it)
+//   wire_per_byte      800 ns/B 10 Mb/s; Table 4 network transit is exactly
+//                               64B * 0.8 = 51.2 ("51") and 1518B * 0.8 =
+//                               1214.4 ("1214")
+//   sync_spl_emulated  ~70 us   server-vs-library deltas across tcp_output
+//                               (224-82), ipintr (127-37), mbuf/queue
+//                               (79-22) at 1-2 emulated spl pairs each
+//   lib_input_extra     60 us   library tcp_input (214) vs kernel (76) in
+//                               Table 4 suggests ~125, but that is
+//                               irreconcilable with Table 2's RTTs (see
+//                               DESIGN.md 7); calibrated to Table 2
+//
+// Values are rounded; bench_table4_breakdown prints the reproduced cells
+// next to the paper's for direct comparison.
+
+MachineProfile MachineProfile::DecStation5000() {
+  MachineProfile p;
+  p.name = "DECstation 5000/200";
+
+  p.copy_per_byte = Nanos(130);
+  p.devread_per_byte = Nanos(275);
+  p.devwrite_per_byte = Nanos(21);
+  p.pio_per_byte = Nanos(0);
+  p.checksum_per_byte = Nanos(140);
+
+  p.trap = Micros(30);
+  p.ipc_fixed = Micros(90);
+  p.ipc_per_byte = Nanos(110);
+  p.intr_fixed = Micros(42);
+  p.wakeup_kernel = Micros(54);
+  p.wakeup_user = Micros(92);
+  p.wakeup_cross = Micros(115);
+  p.shm_signal = Micros(36);
+  p.context_switch = Micros(25);
+
+  p.sync_spl_hw = Micros(1);
+  p.sync_spl_emulated = Micros(70);
+  p.sync_lib_lock = Micros(3);
+
+  p.filter_fixed = Micros(22);
+  p.filter_per_insn = Micros(2);
+
+  p.mbuf_get = Micros(8);
+  p.cluster_get = Micros(12);
+
+  p.sock_send_fixed = Micros(10);
+  p.sock_recv_fixed = Micros(14);
+  p.tcp_out_fixed = Micros(60);
+  p.udp_out_fixed = Micros(12);
+  p.ip_out_fixed = Micros(20);
+  p.ether_out_fixed = Micros(55);
+  p.ipintr_fixed = Micros(28);
+  p.tcp_in_fixed = Micros(70);
+  p.udp_in_fixed = Micros(60);
+  p.arp_fixed = Micros(4);
+  p.netisr_fixed = Micros(30);
+  p.sbqueue_fixed = Micros(19);
+
+  p.lib_input_extra = Micros(60);
+
+  p.wire_per_byte = Nanos(800);
+  p.wire_latency = Micros(0);
+  p.wire_min_frame = 64;
+  return p;
+}
+
+// Gateway 486 calibration: Table 2's Gateway rows. The i486/33 is CPU-
+// comparable to the R3000/25 (paper §4 caption), but the 3C503 moves every
+// byte through 8-bit programmed I/O, which consumes host CPU and caps
+// throughput near 460-500 KB/s.
+MachineProfile MachineProfile::Gateway486() {
+  MachineProfile p = DecStation5000();
+  p.name = "Gateway 486";
+
+  p.copy_per_byte = Nanos(170);
+  p.devread_per_byte = Nanos(0);  // unused: PIO NIC
+  p.devwrite_per_byte = Nanos(0);
+  p.pio_per_byte = Nanos(1000);
+  p.checksum_per_byte = Nanos(155);
+
+  p.trap = Micros(35);
+  p.ipc_fixed = Micros(105);
+  p.ipc_per_byte = Nanos(165);
+  p.intr_fixed = Micros(60);
+  p.wakeup_kernel = Micros(72);
+  p.wakeup_user = Micros(105);
+  p.wakeup_cross = Micros(135);
+  p.shm_signal = Micros(55);
+  p.context_switch = Micros(48);
+
+  p.sync_spl_emulated = Micros(80);
+  p.sync_lib_lock = Micros(4);
+  return p;
+}
+
+}  // namespace psd

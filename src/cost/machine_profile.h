@@ -1,0 +1,99 @@
+// Machine cost profiles.
+//
+// The simulator runs the real protocol code and charges virtual CPU time for
+// each primitive operation it performs. The per-operation costs below are
+// calibrated from the paper's own measurements — primarily Table 4, which
+// reports per-layer latencies for the library-, kernel- and server-based
+// placements on the DECstation 5000/200 — so that the composition of these
+// costs over the real code paths reproduces Tables 2-4. Each parameter cites
+// the measurement it is derived from (see machine_profile.cc).
+#ifndef PSD_SRC_COST_MACHINE_PROFILE_H_
+#define PSD_SRC_COST_MACHINE_PROFILE_H_
+
+#include <string>
+
+#include "src/base/time.h"
+
+namespace psd {
+
+struct MachineProfile {
+  std::string name;
+
+  // --- Memory system ---
+  // main-memory -> main-memory copy, per byte (bcopy/copyin/copyout).
+  SimDuration copy_per_byte;
+  // device-memory read (NIC rx buffer -> main memory), per byte. On the
+  // DECstation's Lance interface device reads are far slower than main
+  // memory reads (paper §4.3 "kernel memory ... has lower read latency than
+  // network device memory").
+  SimDuration devread_per_byte;
+  // main memory -> device-memory write, per byte (posted writes; fast).
+  SimDuration devwrite_per_byte;
+  // If nonzero, the NIC is programmed-I/O (Gateway 3C503, "transfers are
+  // done 8 bits at a time"): every byte moved to/from the device costs this
+  // much CPU in place of devread/devwrite.
+  SimDuration pio_per_byte;
+  // Internet checksum, per byte.
+  SimDuration checksum_per_byte;
+
+  // --- Protection boundaries and scheduling ---
+  SimDuration trap;            // syscall entry + exit (one kernel crossing)
+  SimDuration ipc_fixed;       // Mach IPC message send+receive+dispatch, fixed
+  SimDuration ipc_per_byte;    // per byte per copy hop of message payload
+  SimDuration intr_fixed;      // fielding a device interrupt
+  SimDuration wakeup_kernel;   // kernel wakes a user thread (in-kernel stack)
+  SimDuration wakeup_user;     // user-level cv wakeup inside one address space
+  SimDuration wakeup_cross;    // wakeup across address spaces (server RPC reply path)
+  SimDuration shm_signal;      // lightweight kernel->user shared-memory condition signal
+  SimDuration context_switch;  // bare context switch (batched SHM receive amortizes this)
+
+  // --- Synchronization providers (paper §4.3: the server's emulated spl
+  // machinery is the main source of its protocol-layer slowness) ---
+  SimDuration sync_spl_hw;        // hardware spl raise+restore (in-kernel stack)
+  SimDuration sync_spl_emulated;  // UX server's lock/condvar spl emulation
+  SimDuration sync_lib_lock;      // protocol library's lock acquire+release
+
+  // --- Packet filter ---
+  SimDuration filter_fixed;     // dispatch into the filter engine
+  SimDuration filter_per_insn;  // one filter VM instruction
+
+  // --- Allocators ---
+  SimDuration mbuf_get;     // allocate/free one small mbuf (amortized pair)
+  SimDuration cluster_get;  // allocate/free one cluster
+
+  // --- Per-layer fixed protocol costs (code-path constants; Table 4 rows
+  // with the per-byte parts above subtracted out) ---
+  SimDuration sock_send_fixed;   // socket-layer send entry (sosend bookkeeping)
+  SimDuration sock_recv_fixed;   // socket-layer receive exit (soreceive)
+  SimDuration tcp_out_fixed;     // tcp_output header construction & state
+  SimDuration udp_out_fixed;     // udp_output
+  SimDuration ip_out_fixed;      // ip_output (header + route decision)
+  SimDuration ether_out_fixed;   // ether header + driver transmit setup
+  SimDuration ipintr_fixed;      // IP input processing
+  SimDuration tcp_in_fixed;      // tcp_input protocol processing
+  SimDuration udp_in_fixed;      // udp_input
+  SimDuration arp_fixed;         // ARP cache lookup on the send path
+  SimDuration netisr_fixed;      // softnet dispatch per packet
+  SimDuration sbqueue_fixed;     // enqueue packet as mbuf chain on input queue
+
+  // The library stack's input path carries extra user-level bookkeeping the
+  // in-kernel stack does not (user-level timer wheel + PCB demux; Table 4
+  // shows library tcp_input 214us vs kernel 76us at 1 byte).
+  SimDuration lib_input_extra;
+
+  // --- Wire (shared 10 Mb/s Ethernet) ---
+  SimDuration wire_per_byte;   // serialization: 800 ns/byte at 10 Mb/s
+  SimDuration wire_latency;    // propagation + PHY latency per frame
+  int wire_min_frame;          // 64 bytes incl. FCS on Ethernet
+
+  // DECstation 5000/200: 25 MHz R3000 + Lance Ethernet. Calibrated from
+  // Table 4.
+  static MachineProfile DecStation5000();
+  // Gateway 486: 33 MHz i486 + 3C503 8-bit programmed-I/O Ethernet.
+  // Calibrated from Table 2's Gateway rows.
+  static MachineProfile Gateway486();
+};
+
+}  // namespace psd
+
+#endif  // PSD_SRC_COST_MACHINE_PROFILE_H_

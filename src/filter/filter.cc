@@ -1,0 +1,193 @@
+#include "src/filter/filter.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/base/bytes.h"
+
+namespace psd {
+
+void FilterProgram::RequireEq(uint32_t k) {
+  // Placeholder jf: patched by FinishAcceptAll to the shared reject insn.
+  insns_.push_back({FilterOp::kJEqK, k, 0, 0});
+  pending_rejects_.push_back(insns_.size() - 1);
+}
+
+void FilterProgram::FinishAcceptAll() {
+  Accept();
+  size_t reject_at = insns_.size();
+  Reject();
+  for (size_t idx : pending_rejects_) {
+    // jf displacement from the instruction after idx to the reject insn.
+    insns_[idx].jf = static_cast<uint8_t>(reject_at - idx - 1);
+  }
+  pending_rejects_.clear();
+}
+
+bool FilterProgram::Validate() const {
+  if (insns_.empty() || insns_.size() > 255) {
+    return false;
+  }
+  for (size_t i = 0; i < insns_.size(); i++) {
+    const FilterInsn& in = insns_[i];
+    switch (in.op) {
+      case FilterOp::kJEqK:
+      case FilterOp::kJGtK:
+      case FilterOp::kJSetK:
+        if (i + 1 + in.jt >= insns_.size() || i + 1 + in.jf >= insns_.size()) {
+          return false;
+        }
+        break;
+      default:
+        // Non-jump, non-return instruction must not be last.
+        if (in.op != FilterOp::kRetAccept && in.op != FilterOp::kRetReject &&
+            i + 1 >= insns_.size()) {
+          return false;
+        }
+        break;
+    }
+  }
+  // Jumps are forward-only (jt/jf are unsigned displacements), so programs
+  // cannot loop; any in-bounds program terminates.
+  return true;
+}
+
+std::string FilterProgram::Disassemble() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < insns_.size(); i++) {
+    const FilterInsn& in = insns_[i];
+    os << i << ": ";
+    switch (in.op) {
+      case FilterOp::kLdB:
+        os << "ldb [" << in.k << "]";
+        break;
+      case FilterOp::kLdH:
+        os << "ldh [" << in.k << "]";
+        break;
+      case FilterOp::kLdW:
+        os << "ldw [" << in.k << "]";
+        break;
+      case FilterOp::kLdLen:
+        os << "ldlen";
+        break;
+      case FilterOp::kAndK:
+        os << "and #" << in.k;
+        break;
+      case FilterOp::kOrK:
+        os << "or #" << in.k;
+        break;
+      case FilterOp::kAddK:
+        os << "add #" << in.k;
+        break;
+      case FilterOp::kJEqK:
+        os << "jeq #" << in.k << " +" << int(in.jt) << " +" << int(in.jf);
+        break;
+      case FilterOp::kJGtK:
+        os << "jgt #" << in.k << " +" << int(in.jt) << " +" << int(in.jf);
+        break;
+      case FilterOp::kJSetK:
+        os << "jset #" << in.k << " +" << int(in.jt) << " +" << int(in.jf);
+        break;
+      case FilterOp::kRetAccept:
+        os << "ret accept";
+        break;
+      case FilterOp::kRetReject:
+        os << "ret reject";
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+FilterResult RunFilter(const FilterProgram& prog, const uint8_t* pkt, size_t len) {
+  const auto& insns = prog.insns();
+  uint32_t a = 0;
+  FilterResult result;
+  size_t pc = 0;
+  while (pc < insns.size()) {
+    const FilterInsn& in = insns[pc];
+    result.insns_executed++;
+    switch (in.op) {
+      case FilterOp::kLdB:
+        if (in.k + 1 > len) {
+          return result;
+        }
+        a = pkt[in.k];
+        break;
+      case FilterOp::kLdH:
+        if (in.k + 2 > len) {
+          return result;
+        }
+        a = Load16(pkt + in.k);
+        break;
+      case FilterOp::kLdW:
+        if (in.k + 4 > len) {
+          return result;
+        }
+        a = Load32(pkt + in.k);
+        break;
+      case FilterOp::kLdLen:
+        a = static_cast<uint32_t>(len);
+        break;
+      case FilterOp::kAndK:
+        a &= in.k;
+        break;
+      case FilterOp::kOrK:
+        a |= in.k;
+        break;
+      case FilterOp::kAddK:
+        a += in.k;
+        break;
+      case FilterOp::kJEqK:
+        pc += (a == in.k) ? in.jt : in.jf;
+        break;
+      case FilterOp::kJGtK:
+        pc += (a > in.k) ? in.jt : in.jf;
+        break;
+      case FilterOp::kJSetK:
+        pc += (a & in.k) ? in.jt : in.jf;
+        break;
+      case FilterOp::kRetAccept:
+        result.accepted = true;
+        return result;
+      case FilterOp::kRetReject:
+        return result;
+    }
+    pc++;
+  }
+  return result;  // fell off the end: reject (Validate prevents this)
+}
+
+uint64_t FilterEngine::Install(FilterProgram prog, int priority) {
+  if (!prog.Validate()) {
+    return 0;
+  }
+  InstalledFilter f{next_id_++, std::move(prog), priority};
+  auto pos = std::find_if(filters_.begin(), filters_.end(),
+                          [&](const InstalledFilter& g) { return g.priority < priority; });
+  filters_.insert(pos, std::move(f));
+  return filters_.empty() ? 0 : next_id_ - 1;
+}
+
+void FilterEngine::Remove(uint64_t id) {
+  filters_.erase(std::remove_if(filters_.begin(), filters_.end(),
+                                [id](const InstalledFilter& f) { return f.id == id; }),
+                 filters_.end());
+}
+
+FilterEngine::MatchResult FilterEngine::Match(const uint8_t* pkt, size_t len) const {
+  MatchResult r;
+  for (const InstalledFilter& f : filters_) {
+    FilterResult fr = RunFilter(f.program, pkt, len);
+    r.insns_executed += fr.insns_executed;
+    r.programs_run++;
+    if (fr.accepted) {
+      r.id = f.id;
+      return r;
+    }
+  }
+  return r;
+}
+
+}  // namespace psd

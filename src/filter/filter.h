@@ -1,0 +1,117 @@
+// Packet filter: a small register VM in the spirit of CSPF/BPF (Mogul/
+// Rashid/Accetta '87; McCanne & Jacobson '93), used by the kernel to demux
+// received packets to user-level protocol endpoints securely — an
+// application can only receive packets its installed filter accepts.
+//
+// The operating-system server compiles one filter program per network
+// session (src/filter/session_filter.*); the kernel runs installed programs
+// against each arriving frame (FilterEngine), charging per-instruction cost.
+#ifndef PSD_SRC_FILTER_FILTER_H_
+#define PSD_SRC_FILTER_FILTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace psd {
+
+enum class FilterOp : uint8_t {
+  kLdB,        // A = pkt[k]           (out of range => reject)
+  kLdH,        // A = be16(pkt[k..])
+  kLdW,        // A = be32(pkt[k..])
+  kLdLen,      // A = packet length
+  kAndK,       // A &= k
+  kOrK,        // A |= k
+  kAddK,       // A += k
+  kJEqK,       // pc += (A == k) ? jt : jf
+  kJGtK,       // pc += (A > k)  ? jt : jf
+  kJSetK,      // pc += (A & k)  ? jt : jf
+  kRetAccept,  // accept packet
+  kRetReject,  // reject packet
+};
+
+struct FilterInsn {
+  FilterOp op;
+  uint32_t k = 0;
+  uint8_t jt = 0;
+  uint8_t jf = 0;
+};
+
+class FilterProgram {
+ public:
+  FilterProgram() = default;
+  explicit FilterProgram(std::vector<FilterInsn> insns) : insns_(std::move(insns)) {}
+
+  const std::vector<FilterInsn>& insns() const { return insns_; }
+  size_t size() const { return insns_.size(); }
+
+  // Static validation: jumps stay in bounds and every path terminates with
+  // a return. Programs are validated at install time (kernel safety).
+  bool Validate() const;
+
+  std::string Disassemble() const;
+
+  // Builder helpers.
+  void LdB(uint32_t k) { insns_.push_back({FilterOp::kLdB, k, 0, 0}); }
+  void LdH(uint32_t k) { insns_.push_back({FilterOp::kLdH, k, 0, 0}); }
+  void LdW(uint32_t k) { insns_.push_back({FilterOp::kLdW, k, 0, 0}); }
+  void LdLen() { insns_.push_back({FilterOp::kLdLen, 0, 0, 0}); }
+  void AndK(uint32_t k) { insns_.push_back({FilterOp::kAndK, k, 0, 0}); }
+  void JEqK(uint32_t k, uint8_t jt, uint8_t jf) { insns_.push_back({FilterOp::kJEqK, k, jt, jf}); }
+  void JGtK(uint32_t k, uint8_t jt, uint8_t jf) { insns_.push_back({FilterOp::kJGtK, k, jt, jf}); }
+  void JSetK(uint32_t k, uint8_t jt, uint8_t jf) {
+    insns_.push_back({FilterOp::kJSetK, k, jt, jf});
+  }
+  void Accept() { insns_.push_back({FilterOp::kRetAccept, 0, 0, 0}); }
+  void Reject() { insns_.push_back({FilterOp::kRetReject, 0, 0, 0}); }
+
+  // "Jump to reject unless A == k": convenience used by the compiler; the
+  // reject target is patched by FinishAcceptAll().
+  void RequireEq(uint32_t k);
+  // Terminates a RequireEq-style program: accept if all requirements held.
+  void FinishAcceptAll();
+
+ private:
+  std::vector<FilterInsn> insns_;
+  std::vector<size_t> pending_rejects_;
+};
+
+struct FilterResult {
+  bool accepted = false;
+  int insns_executed = 0;
+};
+
+// Executes `prog` against the packet bytes. Out-of-range loads reject.
+FilterResult RunFilter(const FilterProgram& prog, const uint8_t* pkt, size_t len);
+
+// An installed filter: program + opaque endpoint id + priority. Higher
+// priority programs are consulted first; first accept wins.
+struct InstalledFilter {
+  uint64_t id = 0;
+  FilterProgram program;
+  int priority = 0;
+};
+
+class FilterEngine {
+ public:
+  // Returns the new filter's id, or 0 if the program fails validation.
+  uint64_t Install(FilterProgram prog, int priority);
+  void Remove(uint64_t id);
+
+  struct MatchResult {
+    uint64_t id = 0;  // 0: no filter matched
+    int insns_executed = 0;
+    int programs_run = 0;
+  };
+  MatchResult Match(const uint8_t* pkt, size_t len) const;
+
+  size_t installed_count() const { return filters_.size(); }
+
+ private:
+  std::vector<InstalledFilter> filters_;  // sorted by descending priority
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace psd
+
+#endif  // PSD_SRC_FILTER_FILTER_H_

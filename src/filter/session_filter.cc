@@ -1,0 +1,120 @@
+#include "src/filter/session_filter.h"
+
+#include <cassert>
+#include <map>
+
+#include "src/netsim/ether.h"
+
+namespace psd {
+
+namespace {
+
+// Small label-patching assembler over FilterProgram's instruction list.
+class Asm {
+ public:
+  void Emit(FilterOp op, uint32_t k = 0) { insns_.push_back({op, k, 0, 0}); }
+
+  // jeq k: equal -> fall through; not equal -> `label`.
+  void JumpUnlessEq(uint32_t k, int label) {
+    insns_.push_back({FilterOp::kJEqK, k, 0, 0});
+    patches_.push_back({insns_.size() - 1, label, false});
+  }
+
+  // jeq k: equal -> `label`; not equal -> fall through.
+  void JumpIfEq(uint32_t k, int label) {
+    insns_.push_back({FilterOp::kJEqK, k, 0, 0});
+    patches_.push_back({insns_.size() - 1, label, true});
+  }
+
+  void Bind(int label) { bindings_[label] = static_cast<int>(insns_.size()); }
+
+  FilterProgram Finish() {
+    for (const Patch& p : patches_) {
+      int target = bindings_.at(p.label);
+      int disp = target - static_cast<int>(p.at) - 1;
+      assert(disp >= 0 && disp < 256);
+      if (p.on_true) {
+        insns_[p.at].jt = static_cast<uint8_t>(disp);
+      } else {
+        insns_[p.at].jf = static_cast<uint8_t>(disp);
+      }
+    }
+    return FilterProgram(std::move(insns_));
+  }
+
+ private:
+  struct Patch {
+    size_t at;
+    int label;
+    bool on_true;
+  };
+  std::vector<FilterInsn> insns_;
+  std::vector<Patch> patches_;
+  std::map<int, int> bindings_;
+};
+
+constexpr int kLabelReject = 1;
+constexpr int kLabelFrag = 2;
+
+}  // namespace
+
+FilterProgram CompileSessionFilter(const SessionTuple& t, bool accept_fragments) {
+  Asm a;
+  a.Emit(FilterOp::kLdH, FilterOffsets::kEtherType);
+  a.JumpUnlessEq(kEtherTypeIpv4, kLabelReject);
+  a.Emit(FilterOp::kLdB, FilterOffsets::kIpVerIhl);
+  a.JumpUnlessEq(0x45, kLabelReject);
+  a.Emit(FilterOp::kLdB, FilterOffsets::kIpProto);
+  a.JumpUnlessEq(static_cast<uint32_t>(t.proto), kLabelReject);
+  a.Emit(FilterOp::kLdW, FilterOffsets::kIpDst);
+  a.JumpUnlessEq(t.local.addr.v, kLabelReject);
+
+  // Continuation fragments (offset != 0) carry no transport header; route
+  // them by (proto, dst ip) alone.
+  a.Emit(FilterOp::kLdH, FilterOffsets::kIpFragField);
+  a.Emit(FilterOp::kAndK, 0x1fff);
+  a.JumpUnlessEq(0, kLabelFrag);
+
+  // First fragment / unfragmented: match ports.
+  a.Emit(FilterOp::kLdH, FilterOffsets::kDstPort);
+  a.JumpUnlessEq(t.local.port, kLabelReject);
+  if (t.remote.addr != Ipv4Addr::Any()) {
+    a.Emit(FilterOp::kLdW, FilterOffsets::kIpSrc);
+    a.JumpUnlessEq(t.remote.addr.v, kLabelReject);
+  }
+  if (t.remote.port != 0) {
+    a.Emit(FilterOp::kLdH, FilterOffsets::kSrcPort);
+    a.JumpUnlessEq(t.remote.port, kLabelReject);
+  }
+  a.Emit(FilterOp::kRetAccept);
+
+  a.Bind(kLabelFrag);
+  a.Emit(accept_fragments ? FilterOp::kRetAccept : FilterOp::kRetReject);
+  a.Bind(kLabelReject);
+  a.Emit(FilterOp::kRetReject);
+  return a.Finish();
+}
+
+FilterProgram CompileCatchAllFilter() {
+  Asm a;
+  a.Emit(FilterOp::kLdH, FilterOffsets::kEtherType);
+  a.JumpIfEq(kEtherTypeIpv4, kLabelFrag);  // reuse label as "accept"
+  a.JumpUnlessEq(kEtherTypeArp, kLabelReject);
+  a.Bind(kLabelFrag);
+  a.Emit(FilterOp::kRetAccept);
+  a.Bind(kLabelReject);
+  a.Emit(FilterOp::kRetReject);
+  return a.Finish();
+}
+
+FilterProgram CompileArpFilter() {
+  Asm a;
+  a.Emit(FilterOp::kLdH, FilterOffsets::kEtherType);
+  a.JumpUnlessEq(kEtherTypeArp, kLabelReject);
+  a.Emit(FilterOp::kRetAccept);
+  a.Bind(kLabelReject);
+  a.Emit(FilterOp::kRetReject);
+  return a.Finish();
+}
+
+}  // namespace psd

@@ -1,0 +1,45 @@
+// Compiles a network-session 3-tuple into a packet-filter program matching
+// that session's incoming Ethernet frames. The operating-system server
+// creates and installs one of these per migrated session (paper §3.1: "The
+// operating system creates and installs a new packet filter for each
+// network session").
+#ifndef PSD_SRC_FILTER_SESSION_FILTER_H_
+#define PSD_SRC_FILTER_SESSION_FILTER_H_
+
+#include "src/filter/filter.h"
+#include "src/inet/addr.h"
+
+namespace psd {
+
+// Frame-relative offsets used by the compiler (Ethernet + IPv4, no options).
+struct FilterOffsets {
+  static constexpr uint32_t kEtherType = 12;
+  static constexpr uint32_t kIpVerIhl = 14;
+  static constexpr uint32_t kIpFragField = 20;
+  static constexpr uint32_t kIpProto = 23;
+  static constexpr uint32_t kIpSrc = 26;
+  static constexpr uint32_t kIpDst = 30;
+  static constexpr uint32_t kSrcPort = 34;
+  static constexpr uint32_t kDstPort = 36;
+};
+
+// Filter for a session. Matches:
+//  * non-fragmented packets of the session's protocol whose IP/port tuple
+//    matches (wildcard remote for unconnected UDP), and
+//  * if accept_fragments, continuation fragments (offset != 0) of the
+//    session's protocol addressed to the local IP — ports live only in the
+//    first fragment; reassembly + transport demux discard misdirected data.
+FilterProgram CompileSessionFilter(const SessionTuple& t, bool accept_fragments = true);
+
+// Catch-all for a full-stack domain (in-kernel or server placement): all
+// IPv4 and ARP traffic. Installed at low priority so per-session filters
+// win first.
+FilterProgram CompileCatchAllFilter();
+
+// ARP traffic only (the library placement's server keeps ARP/exceptional
+// packets while applications receive their sessions directly).
+FilterProgram CompileArpFilter();
+
+}  // namespace psd
+
+#endif  // PSD_SRC_FILTER_SESSION_FILTER_H_

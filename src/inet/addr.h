@@ -1,0 +1,76 @@
+// IPv4 address and endpoint types. Standalone header (no deps) shared by
+// the filter compiler, the protocol stack, and the socket layer.
+#ifndef PSD_SRC_INET_ADDR_H_
+#define PSD_SRC_INET_ADDR_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace psd {
+
+struct Ipv4Addr {
+  uint32_t v = 0;  // host byte order
+
+  constexpr Ipv4Addr() = default;
+  constexpr explicit Ipv4Addr(uint32_t host_order) : v(host_order) {}
+
+  static constexpr Ipv4Addr FromOctets(uint8_t a, uint8_t b, uint8_t c, uint8_t d) {
+    return Ipv4Addr(static_cast<uint32_t>(a) << 24 | static_cast<uint32_t>(b) << 16 |
+                    static_cast<uint32_t>(c) << 8 | d);
+  }
+  static constexpr Ipv4Addr Any() { return Ipv4Addr(0); }
+  static constexpr Ipv4Addr Broadcast() { return Ipv4Addr(0xffffffff); }
+
+  bool IsAny() const { return v == 0; }
+  bool operator==(const Ipv4Addr&) const = default;
+  auto operator<=>(const Ipv4Addr&) const = default;
+
+  std::string ToString() const {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", v >> 24 & 0xff, v >> 16 & 0xff, v >> 8 & 0xff,
+                  v & 0xff);
+    return buf;
+  }
+};
+
+// A transport endpoint (address, port), like sockaddr_in.
+struct SockAddrIn {
+  Ipv4Addr addr;
+  uint16_t port = 0;
+
+  bool operator==(const SockAddrIn&) const = default;
+
+  std::string ToString() const { return addr.ToString() + ":" + std::to_string(port); }
+};
+
+enum class IpProto : uint8_t {
+  kIcmp = 1,
+  kTcp = 6,
+  kUdp = 17,
+};
+
+// A network session 3-tuple as defined by the paper (§3.1): protocol, local
+// endpoint, remote endpoint. For unconnected UDP the remote side is wild.
+struct SessionTuple {
+  IpProto proto = IpProto::kUdp;
+  SockAddrIn local;
+  SockAddrIn remote;  // addr 0 / port 0 = wildcard
+
+  bool operator==(const SessionTuple&) const = default;
+
+  std::string ToString() const {
+    return std::string(proto == IpProto::kTcp ? "tcp" : proto == IpProto::kUdp ? "udp" : "icmp") +
+           " " + local.ToString() + " <-> " + remote.ToString();
+  }
+};
+
+}  // namespace psd
+
+template <>
+struct std::hash<psd::Ipv4Addr> {
+  size_t operator()(const psd::Ipv4Addr& a) const noexcept { return std::hash<uint32_t>()(a.v); }
+};
+
+#endif  // PSD_SRC_INET_ADDR_H_

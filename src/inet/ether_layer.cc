@@ -1,0 +1,51 @@
+#include "src/inet/ether_layer.h"
+
+#include <cstring>
+
+#include "src/base/bytes.h"
+
+namespace psd {
+
+Result<void> EtherLayer::OutputIp(Chain pkt, Ipv4Addr next_hop) {
+  ProbeSpan span(env_->probe, env_->sim, Stage::kEtherOutput);
+  env_->Charge(env_->prof->arp_fixed);  // resolver/cache lookup
+  MacAddr dst;
+  if (resolver_ == nullptr) {
+    return Err::kHostUnreach;
+  }
+  switch (resolver_->Resolve(next_hop, &dst, &pkt)) {
+    case MacResolver::Status::kResolved:
+      break;
+    case MacResolver::Status::kPending:
+      return OkResult();  // resolver owns the packet now
+    case MacResolver::Status::kFail:
+      unresolved_drops_++;
+      return Err::kHostUnreach;
+  }
+  OutputRaw(dst, kEtherTypeIpv4, std::move(pkt));
+  return OkResult();
+}
+
+void EtherLayer::OutputRaw(MacAddr dst, uint16_t ethertype, Chain payload) {
+  env_->Charge(env_->prof->ether_out_fixed);
+  env_->sync->ChargeSyncPair();
+  uint8_t* h = payload.Prepend(kEtherHeaderLen);
+  std::memcpy(h, dst.b.data(), 6);
+  std::memcpy(h + 6, self_.b.data(), 6);
+  Store16(h + 12, ethertype);
+  tx_frames_++;
+  env_->send_frame(payload.ToVector());
+}
+
+bool EtherLayer::Parse(const Frame& f, RxFrame* out) {
+  if (f.size() < kEtherHeaderLen) {
+    return false;
+  }
+  std::memcpy(out->dst.b.data(), f.data(), 6);
+  std::memcpy(out->src.b.data(), f.data() + 6, 6);
+  out->ethertype = Load16(f.data() + 12);
+  out->payload = Chain::FromBytes(f.data() + kEtherHeaderLen, f.size() - kEtherHeaderLen);
+  return true;
+}
+
+}  // namespace psd

@@ -1,0 +1,125 @@
+#include "src/inet/stack.h"
+
+#include "src/base/log.h"
+
+namespace psd {
+
+namespace {
+constexpr SimDuration kFastPeriod = Millis(200);
+constexpr SimDuration kSlowPeriod = Millis(500);
+}  // namespace
+
+Stack::Stack(const StackParams& params)
+    : name_(params.name),
+      sync_(params.sim, params.sync_pair_cost),
+      env_{params.sim, params.cpu,  params.prof, params.placement,
+           &sync_,     params.probe, params.send_frame},
+      ether_(&env_, params.mac),
+      ip_(&env_, &ether_, &routes_, params.ip),
+      icmp_(&env_, &ip_),
+      udp_(&env_, &ip_, &icmp_, &ports_),
+      tcp_(&env_, &ip_, &ports_),
+      timer_kick_(params.sim) {
+  if (params.with_arp) {
+    arp_ = std::make_unique<ArpLayer>(&env_, &ether_, params.ip);
+    ether_.SetResolver(arp_.get());
+  }
+  timer_thread_ = params.sim->Spawn(name_ + "/timer", params.cpu, [this] { TimerThreadBody(); });
+}
+
+Stack::~Stack() {
+  if (timer_thread_ != nullptr && !env_.sim->shutting_down()) {
+    env_.sim->KillThread(timer_thread_);
+  }
+}
+
+void Stack::InputFrame(const Frame& frame) {
+  DomainLock lock(&sync_);
+  frames_in_++;
+  {
+    ProbeSpan span(env_.probe, env_.sim, Stage::kNetisrFilter);
+    env_.Charge(env_.prof->netisr_fixed);
+  }
+  EtherLayer::RxFrame rx;
+  {
+    // Package the frame into an mbuf chain and hand it up (Table 4's
+    // "mbuf/queue" row; on the in-kernel stack this happens inside netisr
+    // processing and the table reports it there).
+    Stage stage = env_.placement == Placement::kKernel ? Stage::kNetisrFilter : Stage::kMbufQueue;
+    ProbeSpan span(env_.probe, env_.sim, stage);
+    env_.Charge(env_.prof->sbqueue_fixed);
+    env_.sync->ChargeSyncPair();
+    if (!EtherLayer::Parse(frame, &rx)) {
+      return;
+    }
+  }
+  if (rx.ethertype == kEtherTypeArp) {
+    if (arp_ != nullptr) {
+      arp_->Input(std::move(rx.payload));
+    }
+  } else if (rx.ethertype == kEtherTypeIpv4) {
+    ip_.Input(std::move(rx.payload));
+  }
+  // Activity may have armed timers.
+  if (timer_idle_) {
+    timer_kick_.NotifyOne();
+  }
+}
+
+void Stack::Kick() {
+  if (timer_idle_) {
+    timer_kick_.NotifyOne();
+  }
+}
+
+bool Stack::TimersNeeded() const {
+  for (const auto& p : tcp_.pcbs()) {
+    if (p->state != TcpState::kClosed && p->state != TcpState::kListen) {
+      return true;
+    }
+    if (p->delack || (p->detached && p->state == TcpState::kClosed)) {
+      return true;
+    }
+  }
+  if (ip_.stats().fragments_received > ip_.stats().reassembled + ip_.stats().reassembly_timeouts) {
+    return true;
+  }
+  return arp_ != nullptr && arp_->HasPendingWork();
+}
+
+void Stack::TimerThreadBody() {
+  SimThread* self = env_.sim->current_thread();
+  SimTime next_fast = env_.sim->Now() + kFastPeriod;
+  SimTime next_slow = env_.sim->Now() + kSlowPeriod;
+  for (;;) {
+    {
+      DomainLock lock(&sync_);
+      if (!TimersNeeded()) {
+        timer_idle_ = true;
+      }
+    }
+    if (timer_idle_) {
+      self->WaitOn(&timer_kick_);
+      timer_idle_ = false;
+      next_fast = env_.sim->Now() + kFastPeriod;
+      next_slow = env_.sim->Now() + kSlowPeriod;
+    }
+    SimTime next = std::min(next_fast, next_slow);
+    self->SleepUntil(next);
+    DomainLock lock(&sync_);
+    if (env_.sim->Now() >= next_fast) {
+      tcp_.FastTick();
+      next_fast += kFastPeriod;
+    }
+    if (env_.sim->Now() >= next_slow) {
+      tcp_.SlowTick();
+      ip_.SlowTick();
+      if (arp_ != nullptr) {
+        arp_->SlowTick();
+      }
+      next_slow += kSlowPeriod;
+    }
+  }
+}
+
+}  // namespace psd

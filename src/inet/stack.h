@@ -1,0 +1,100 @@
+// A complete protocol stack instance: Ethernet + ARP (optional) + IP +
+// ICMP + UDP + TCP, one routing table and one port namespace, one
+// synchronization domain, and a timer thread driving the BSD fast (200 ms)
+// and slow (500 ms) protocol timeouts.
+//
+// The same Stack class is instantiated in all three placements; only its
+// StackParams differ. In the library placement ARP is disabled and the MAC
+// resolver / route-miss hooks are provided by the application's metastate
+// cache, which consults the operating-system server (paper §3.3).
+#ifndef PSD_SRC_INET_STACK_H_
+#define PSD_SRC_INET_STACK_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/inet/arp.h"
+#include "src/inet/ether_layer.h"
+#include "src/inet/icmp.h"
+#include "src/inet/ip.h"
+#include "src/inet/ports.h"
+#include "src/inet/route.h"
+#include "src/inet/stack_env.h"
+#include "src/inet/tcp.h"
+#include "src/inet/udp.h"
+
+namespace psd {
+
+struct StackParams {
+  Simulator* sim = nullptr;
+  HostCpu* cpu = nullptr;
+  const MachineProfile* prof = nullptr;
+  Placement placement = Placement::kKernel;
+  StageRecorder* probe = nullptr;
+  std::function<void(Frame)> send_frame;
+  Ipv4Addr ip;
+  MacAddr mac;
+  bool with_arp = true;
+  // Cost of one internal synchronization pair; chosen per placement
+  // (hardware spl / emulated spl / library locks — see MachineProfile).
+  SimDuration sync_pair_cost = 0;
+  std::string name = "stack";
+};
+
+class Stack {
+ public:
+  explicit Stack(const StackParams& params);
+  ~Stack();
+
+  Stack(const Stack&) = delete;
+  Stack& operator=(const Stack&) = delete;
+
+  // Feeds one received Ethernet frame into the stack. Must be called from
+  // a SimThread without the domain lock held (takes it internally).
+  void InputFrame(const Frame& frame);
+
+  // Wakes the timer thread (call after creating sessions or activity that
+  // arms timers from outside InputFrame).
+  void Kick();
+
+  StackEnv* env() { return &env_; }
+  SyncDomain* sync() { return &sync_; }
+  EtherLayer& ether() { return ether_; }
+  ArpLayer* arp() { return arp_.get(); }
+  RouteTable& routes() { return routes_; }
+  PortAlloc& ports() { return ports_; }
+  IpLayer& ip() { return ip_; }
+  IcmpLayer& icmp() { return icmp_; }
+  UdpLayer& udp() { return udp_; }
+  TcpLayer& tcp() { return tcp_; }
+  Ipv4Addr addr() const { return ip_.addr(); }
+  const std::string& name() const { return name_; }
+
+  uint64_t frames_in() const { return frames_in_; }
+
+ private:
+  void TimerThreadBody();
+  bool TimersNeeded() const;
+
+  std::string name_;
+  SyncDomain sync_;
+  StackEnv env_;
+  EtherLayer ether_;
+  RouteTable routes_;
+  PortAlloc ports_;
+  IpLayer ip_;
+  IcmpLayer icmp_;
+  UdpLayer udp_;
+  TcpLayer tcp_;
+  std::unique_ptr<ArpLayer> arp_;
+
+  WaitQueue timer_kick_;
+  bool timer_idle_ = false;
+  SimThread* timer_thread_ = nullptr;
+  uint64_t frames_in_ = 0;
+};
+
+}  // namespace psd
+
+#endif  // PSD_SRC_INET_STACK_H_

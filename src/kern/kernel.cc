@@ -1,0 +1,185 @@
+#include "src/kern/kernel.h"
+
+#include <cassert>
+
+#include "src/base/log.h"
+
+namespace psd {
+
+// Bytes of header the integrated packet filter inspects in device memory
+// before deciding a packet's destination: Ethernet (14) + IP (20) + ports.
+constexpr size_t kIpfPeekBytes = 38;
+
+Kernel::Kernel(Simulator* sim, HostCpu* cpu, Nic* nic, const MachineProfile* prof,
+               std::string name)
+    : sim_(sim), cpu_(cpu), nic_(nic), prof_(prof), name_(std::move(name)), rx_wq_(sim) {
+  nic_->SetRxNotify([this] { rx_wq_.NotifyOne(); });
+  intr_thread_ = sim_->Spawn(name_ + "/intr", cpu_, [this] { IntrThreadBody(); });
+}
+
+Kernel::~Kernel() {
+  if (intr_thread_ != nullptr && !sim_->shutting_down()) {
+    sim_->KillThread(intr_thread_);
+  }
+}
+
+uint64_t Kernel::InstallFilter(FilterProgram prog, int priority, DeliveryEndpoint ep) {
+  uint64_t id = engine_.Install(std::move(prog), priority);
+  if (id != 0) {
+    endpoints_[id] = ep;
+  }
+  return id;
+}
+
+void Kernel::RemoveFilter(uint64_t id) {
+  engine_.Remove(id);
+  endpoints_.erase(id);
+}
+
+PacketQueue* Kernel::MakeQueueEndpoint(std::string name, SimDuration signal_cost,
+                                       size_t capacity) {
+  queues_.push_back(std::make_unique<PacketQueue>(sim_, std::move(name), capacity, signal_cost));
+  return queues_.back().get();
+}
+
+void Kernel::NetSendFromUser(Frame frame) {
+  SimThread* self = sim_->current_thread();
+  assert(self != nullptr);
+  self->Charge(prof_->trap);
+  // Copy from user space into a wired kernel buffer.
+  Frame wired(frame.begin(), frame.end());
+  self->Charge(static_cast<SimDuration>(wired.size()) * prof_->copy_per_byte);
+  nic_->Transmit(std::move(wired));
+}
+
+void Kernel::NetSendWired(Frame frame) { nic_->Transmit(std::move(frame)); }
+
+void Kernel::IntrThreadBody() {
+  SimThread* self = sim_->current_thread();
+  for (;;) {
+    while (nic_->RxPending()) {
+      DeliverFrame();
+    }
+    self->WaitOn(&rx_wq_);
+  }
+}
+
+void Kernel::DeliverFrame() {
+  SimThread* self = sim_->current_thread();
+  // With any integrated-filter endpoint installed, the filter examines
+  // headers in device memory and the copy is deferred until the
+  // destination is known. Otherwise the driver copies the whole frame into
+  // a wired kernel buffer first and the filter runs on that copy.
+  bool integrated = false;
+  for (const auto& [id, ep] : endpoints_) {
+    if (ep.kind == DeliverKind::kShmIpf) {
+      integrated = true;
+      break;
+    }
+  }
+
+  auto run_filter = [&](const Frame& f) -> FilterEngine::MatchResult {
+    ProbeSpan span(probe_, sim_, Stage::kNetisrFilter);
+    FilterEngine::MatchResult m = engine_.Match(f.data(), f.size());
+    filter_insns_ += static_cast<uint64_t>(m.insns_executed);
+    self->Charge(prof_->filter_fixed + m.insns_executed * prof_->filter_per_insn);
+    return m;
+  };
+
+  if (integrated) {
+    FilterEngine::MatchResult m;
+    {
+      ProbeSpan span(probe_, sim_, Stage::kDevIntrRead);
+      self->Charge(prof_->intr_fixed);
+    }
+    {
+      const Frame& head = nic_->RxHead();
+      // Header peek reads device memory.
+      size_t peek = std::min(head.size(), kIpfPeekBytes);
+      self->Charge(static_cast<SimDuration>(peek) * nic_->params().rx_read_per_byte);
+      m = run_filter(head);
+    }
+    Frame f = nic_->RxPop();
+    if (m.id == 0) {
+      rx_unmatched_++;
+      return;
+    }
+    auto epit = endpoints_.find(m.id);
+    if (epit == endpoints_.end()) {
+      // The filter was removed while this frame was in flight (session
+      // migration handover); drop, retransmission recovers.
+      rx_unmatched_++;
+      return;
+    }
+    const DeliveryEndpoint& ep = epit->second;
+    ProbeSpan span(probe_, sim_, Stage::kKernelCopyout);
+    // Single copy: device memory straight into the destination domain.
+    self->Charge(static_cast<SimDuration>(f.size()) * nic_->params().rx_read_per_byte);
+    switch (ep.kind) {
+      case DeliverKind::kShmIpf:
+      case DeliverKind::kShm:
+      case DeliverKind::kDirect:
+        ep.queue->Push(std::move(f));
+        break;
+      case DeliverKind::kIpc: {
+        IpcMessage msg;
+        msg.kind = kMsgPacketDelivery;
+        msg.payload = std::move(f);
+        ep.port->Send(std::move(msg));
+        break;
+      }
+    }
+    rx_delivered_++;
+    return;
+  }
+
+  // Copy-then-filter path.
+  Frame f;
+  {
+    ProbeSpan span(probe_, sim_, Stage::kDevIntrRead);
+    self->Charge(prof_->intr_fixed);
+    // Copy the whole frame out of device memory into a wired kernel buffer.
+    const Frame& head = nic_->RxHead();
+    self->Charge(static_cast<SimDuration>(head.size()) * nic_->params().rx_read_per_byte);
+    f = nic_->RxPop();
+  }
+  FilterEngine::MatchResult m = run_filter(f);
+  if (m.id == 0) {
+    rx_unmatched_++;
+    return;
+  }
+  auto epit = endpoints_.find(m.id);
+  if (epit == endpoints_.end()) {
+    rx_unmatched_++;
+    return;
+  }
+  const DeliveryEndpoint& ep = epit->second;
+  switch (ep.kind) {
+    case DeliverKind::kDirect:
+      // In-kernel stack: the netisr queue holds the kernel buffer directly.
+      ep.queue->Push(std::move(f));
+      break;
+    case DeliverKind::kShm: {
+      ProbeSpan span(probe_, sim_, Stage::kKernelCopyout);
+      // Kernel buffer -> shared-memory ring.
+      self->Charge(static_cast<SimDuration>(f.size()) * prof_->copy_per_byte);
+      Frame shared(f.begin(), f.end());
+      ep.queue->Push(std::move(shared));
+      break;
+    }
+    case DeliverKind::kShmIpf:
+      assert(false && "unreachable: integrated mode handles kShmIpf");
+      break;
+    case DeliverKind::kIpc: {
+      ProbeSpan span(probe_, sim_, Stage::kKernelCopyout);
+      IpcMessage msg;
+      msg.kind = kMsgPacketDelivery;
+      msg.payload = std::move(f);
+      ep.port->Send(std::move(msg));
+      break;
+    }
+  }
+  rx_delivered_++;
+}
+
+}  // namespace psd

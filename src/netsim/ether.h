@@ -1,0 +1,62 @@
+// Ethernet basics: MAC addresses, ethertypes, frame representation.
+#ifndef PSD_SRC_NETSIM_ETHER_H_
+#define PSD_SRC_NETSIM_ETHER_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace psd {
+
+struct MacAddr {
+  std::array<uint8_t, 6> b{};
+
+  bool operator==(const MacAddr&) const = default;
+
+  bool IsBroadcast() const {
+    for (uint8_t x : b) {
+      if (x != 0xff) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  static MacAddr Broadcast() {
+    MacAddr m;
+    m.b.fill(0xff);
+    return m;
+  }
+
+  // Deterministic locally-administered address from a small host id.
+  static MacAddr FromHostId(uint16_t id) {
+    MacAddr m;
+    m.b = {0x02, 0x00, 0x5e, 0x00, static_cast<uint8_t>(id >> 8), static_cast<uint8_t>(id)};
+    return m;
+  }
+
+  std::string ToString() const {
+    char buf[18];
+    std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", b[0], b[1], b[2], b[3], b[4],
+                  b[5]);
+    return buf;
+  }
+};
+
+// A full Ethernet frame: dst(6) src(6) ethertype(2) payload. No FCS; the
+// wire model accounts for its 4 bytes of serialization time.
+using Frame = std::vector<uint8_t>;
+
+constexpr size_t kEtherHeaderLen = 14;
+constexpr uint16_t kEtherTypeIpv4 = 0x0800;
+constexpr uint16_t kEtherTypeArp = 0x0806;
+
+// Ethernet payload limits (10 Mb/s Ethernet, as in the paper).
+constexpr size_t kEtherMtu = 1500;
+constexpr size_t kEtherMinPayload = 46;
+
+}  // namespace psd
+
+#endif  // PSD_SRC_NETSIM_ETHER_H_

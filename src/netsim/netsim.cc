@@ -1,0 +1,78 @@
+#include <cassert>
+
+#include "src/base/bytes.h"
+#include "src/base/log.h"
+#include "src/netsim/nic.h"
+#include "src/netsim/segment.h"
+
+namespace psd {
+
+void EthernetSegment::Transmit(Nic* src, Frame frame, std::function<void()> done) {
+  SimTime start = std::max(sim_->Now(), medium_free_at_);
+  SimTime end = start + WireTime(frame.size());
+  medium_free_at_ = end;
+  frames_carried_++;
+
+  if (faults_.loss_rate > 0 && rng_.Chance(faults_.loss_rate)) {
+    frames_dropped_++;
+    if (done) {
+      sim_->Schedule(end, std::move(done));
+    }
+    return;
+  }
+
+  SimTime deliver_at = end;
+  if (faults_.delay_rate > 0 && rng_.Chance(faults_.delay_rate)) {
+    deliver_at += faults_.extra_delay;
+  }
+  Deliver(src, frame, deliver_at);
+  if (faults_.dup_rate > 0 && rng_.Chance(faults_.dup_rate)) {
+    Deliver(src, frame, deliver_at + WireTime(frame.size()));
+  }
+  if (done) {
+    sim_->Schedule(end, std::move(done));
+  }
+}
+
+void EthernetSegment::Deliver(Nic* src, const Frame& frame, SimTime at) {
+  for (Nic* nic : nics_) {
+    if (nic == src) {
+      continue;
+    }
+    sim_->Schedule(at, [nic, frame] { nic->DeliverFromWire(frame); });
+  }
+}
+
+void Nic::Transmit(Frame frame) {
+  assert(segment_ != nullptr && "NIC not attached");
+  assert(frame.size() >= kEtherHeaderLen);
+  SimThread* self = sim_->current_thread();
+  assert(self != nullptr && "Nic::Transmit requires thread context");
+  // Place the frame into device tx memory. On a PIO NIC this is the
+  // dominant cost and burns host CPU byte by byte.
+  self->Charge(static_cast<SimDuration>(frame.size()) * params_.tx_write_per_byte);
+  tx_frames_++;
+  segment_->Transmit(this, std::move(frame));
+}
+
+void Nic::DeliverFromWire(const Frame& frame) {
+  // Hardware MAC filtering: accept our unicast address and broadcast.
+  MacAddr dst;
+  std::memcpy(dst.b.data(), frame.data(), 6);
+  if (!(dst == mac_) && !dst.IsBroadcast()) {
+    return;
+  }
+  if (rx_ring_.size() >= params_.rx_ring_frames) {
+    rx_dropped_++;
+    PSD_LOG(kDebug) << name_ << ": rx ring overflow, frame dropped";
+    return;
+  }
+  rx_frames_++;
+  bool was_empty = rx_ring_.empty();
+  rx_ring_.push_back(frame);
+  if (was_empty && rx_notify_) {
+    rx_notify_();
+  }
+}
+
+}  // namespace psd

@@ -1,0 +1,80 @@
+// Shared half-duplex Ethernet segment: serializes all transmissions at the
+// configured line rate, delivers each frame to every other attached NIC, and
+// supports deterministic fault injection (loss, duplication, extra delay)
+// for protocol robustness tests.
+#ifndef PSD_SRC_NETSIM_SEGMENT_H_
+#define PSD_SRC_NETSIM_SEGMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/base/time.h"
+#include "src/netsim/ether.h"
+#include "src/sim/simulator.h"
+
+namespace psd {
+
+class Nic;
+
+struct WireParams {
+  SimDuration per_byte = Nanos(800);  // 10 Mb/s
+  SimDuration latency = 0;            // propagation + PHY, per frame
+  int min_frame = 64;                 // bytes on the wire incl. FCS
+  int fcs_bytes = 4;
+};
+
+struct FaultPlan {
+  double loss_rate = 0.0;     // probability a frame is dropped for all receivers
+  double dup_rate = 0.0;      // probability a frame is delivered twice
+  double delay_rate = 0.0;    // probability a frame gets extra delay (reordering)
+  SimDuration extra_delay = Millis(5);
+  uint64_t seed = 1;
+};
+
+class EthernetSegment {
+ public:
+  EthernetSegment(Simulator* sim, WireParams params = {})
+      : sim_(sim), params_(params), rng_(1) {}
+
+  void Attach(Nic* nic) { nics_.push_back(nic); }
+
+  // Starts transmitting `frame` from `src`. The segment is half duplex:
+  // the transmission begins when the medium is free. `done` (optional) runs
+  // when the frame has left the source NIC.
+  void Transmit(Nic* src, Frame frame, std::function<void()> done = nullptr);
+
+  void SetFaults(const FaultPlan& plan) {
+    faults_ = plan;
+    rng_ = Rng(plan.seed);
+  }
+
+  // Serialization time for a frame of `payload_len` bytes (incl. header).
+  SimDuration WireTime(size_t frame_len) const {
+    int on_wire = static_cast<int>(frame_len) + params_.fcs_bytes;
+    if (on_wire < params_.min_frame) {
+      on_wire = params_.min_frame;
+    }
+    return on_wire * params_.per_byte + params_.latency;
+  }
+
+  uint64_t frames_carried() const { return frames_carried_; }
+  uint64_t frames_dropped() const { return frames_dropped_; }
+
+ private:
+  void Deliver(Nic* src, const Frame& frame, SimTime at);
+
+  Simulator* sim_;
+  WireParams params_;
+  FaultPlan faults_;
+  Rng rng_;
+  std::vector<Nic*> nics_;
+  SimTime medium_free_at_ = 0;
+  uint64_t frames_carried_ = 0;
+  uint64_t frames_dropped_ = 0;
+};
+
+}  // namespace psd
+
+#endif  // PSD_SRC_NETSIM_SEGMENT_H_

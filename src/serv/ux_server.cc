@@ -1,0 +1,461 @@
+#include "src/serv/ux_server.h"
+
+#include <cassert>
+
+#include "src/api/kernel_node.h"
+#include "src/base/codec.h"
+#include "src/base/log.h"
+#include "src/filter/session_filter.h"
+
+namespace psd {
+
+namespace {
+
+void PutAddr(Encoder* e, const SockAddrIn& a) {
+  e->U32(a.addr.v);
+  e->U16(a.port);
+}
+
+SockAddrIn GetAddr(Decoder* d) {
+  SockAddrIn a;
+  a.addr = Ipv4Addr(d->U32());
+  a.port = d->U16();
+  return a;
+}
+
+}  // namespace
+
+UxServer::UxServer(SimHost* host, int workers)
+    : host_(host),
+      request_port_(host->sim(), host->prof(), host->name() + "/ux-req"),
+      packet_port_(host->sim(), host->prof(), host->name() + "/ux-pkt",
+                   PortCosts::PacketDelivery(*host->prof())) {
+  StackParams params;
+  params.sim = host->sim();
+  params.cpu = host->cpu();
+  params.prof = host->prof();
+  params.placement = Placement::kServer;
+  Kernel* kernel = host->kernel();
+  params.send_frame = [kernel](Frame f) { kernel->NetSendFromUser(std::move(f)); };
+  params.ip = host->ip();
+  params.mac = host->mac();
+  params.with_arp = true;
+  params.sync_pair_cost = host->prof()->sync_spl_emulated;
+  params.name = host->name() + "/ux";
+  stack_ = std::make_unique<Stack>(params);
+  stack_->routes().Add(Ipv4Addr(host->ip().v & 0xffffff00), Ipv4Addr(0xffffff00),
+                       Ipv4Addr::Any());
+
+  kernel->InstallFilter(CompileCatchAllFilter(), /*priority=*/0,
+                        DeliveryEndpoint{DeliverKind::kIpc, nullptr, &packet_port_});
+  threads_.push_back(host->sim()->Spawn(host->name() + "/ux-in", host->cpu(),
+                                        [this] { InputBody(); }));
+  for (int i = 0; i < workers; i++) {
+    threads_.push_back(host->sim()->Spawn(host->name() + "/ux-w" + std::to_string(i),
+                                          host->cpu(), [this] { WorkerBody(); }));
+  }
+}
+
+UxServer::~UxServer() {
+  if (!host_->sim()->shutting_down()) {
+    for (SimThread* t : threads_) {
+      host_->sim()->KillThread(t);
+    }
+  }
+}
+
+void UxServer::SetStageRecorder(StageRecorder* rec) {
+  stack_->env()->probe = rec;
+  host_->kernel()->SetStageRecorder(rec);
+}
+
+void UxServer::InputBody() {
+  IpcMessage msg;
+  for (;;) {
+    if (!packet_port_.Receive(&msg)) {
+      continue;
+    }
+    stack_->InputFrame(msg.payload);
+  }
+}
+
+void UxServer::WorkerBody() {
+  IpcMessage msg;
+  for (;;) {
+    if (!request_port_.Receive(&msg)) {
+      continue;
+    }
+    IpcMessage reply = Handle(msg);
+    if (msg.reply_port != nullptr) {
+      msg.reply_port->Send(std::move(reply));
+    }
+  }
+}
+
+Result<Socket*> UxServer::Lookup(uint64_t id) {
+  auto it = socks_.find(id);
+  if (it == socks_.end()) {
+    return Err::kBadF;
+  }
+  return it->second.get();
+}
+
+IpcMessage UxServer::Handle(const IpcMessage& req) {
+  IpcMessage reply;
+  auto fail = [&reply](Err e) {
+    reply.arg[0] = static_cast<uint64_t>(e);
+    return reply;
+  };
+  ServOp op = static_cast<ServOp>(req.kind);
+  uint64_t id = req.arg[1];
+
+  switch (op) {
+    case ServOp::kSocket: {
+      IpProto proto = static_cast<IpProto>(req.arg[2]);
+      auto sock = std::make_unique<Socket>(stack_.get(), proto);
+      uint64_t sid = next_id_++;
+      socks_[sid] = std::move(sock);
+      reply.arg[1] = sid;
+      return reply;
+    }
+    case ServOp::kBind: {
+      Result<Socket*> s = Lookup(id);
+      if (!s.ok()) {
+        return fail(s.error());
+      }
+      Decoder d(req.payload);
+      SockAddrIn a = GetAddr(&d);
+      Result<void> r = (*s)->Bind(a);
+      return r.ok() ? reply : fail(r.error());
+    }
+    case ServOp::kListen: {
+      Result<Socket*> s = Lookup(id);
+      if (!s.ok()) {
+        return fail(s.error());
+      }
+      Result<void> r = (*s)->Listen(static_cast<int>(req.arg[2]));
+      return r.ok() ? reply : fail(r.error());
+    }
+    case ServOp::kAccept: {
+      Result<Socket*> s = Lookup(id);
+      if (!s.ok()) {
+        return fail(s.error());
+      }
+      SockAddrIn peer;
+      Result<std::unique_ptr<Socket>> child = (*s)->Accept(&peer);
+      if (!child.ok()) {
+        return fail(child.error());
+      }
+      uint64_t sid = next_id_++;
+      socks_[sid] = std::move(*child);
+      reply.arg[1] = sid;
+      Encoder e;
+      PutAddr(&e, peer);
+      reply.payload = e.Take();
+      return reply;
+    }
+    case ServOp::kConnect: {
+      Result<Socket*> s = Lookup(id);
+      if (!s.ok()) {
+        return fail(s.error());
+      }
+      Decoder d(req.payload);
+      Result<void> r = (*s)->Connect(GetAddr(&d));
+      stack_->Kick();
+      return r.ok() ? reply : fail(r.error());
+    }
+    case ServOp::kSend: {
+      Result<Socket*> s = Lookup(id);
+      if (!s.ok()) {
+        return fail(s.error());
+      }
+      SockAddrIn to;
+      const SockAddrIn* top = nullptr;
+      if (req.arg[2] != 0) {
+        to.addr = Ipv4Addr(static_cast<uint32_t>(req.arg[3] >> 16));
+        to.port = static_cast<uint16_t>(req.arg[3] & 0xffff);
+        top = &to;
+      }
+      Result<size_t> r = (*s)->Send(req.payload.data(), req.payload.size(), top);
+      stack_->Kick();
+      if (!r.ok()) {
+        return fail(r.error());
+      }
+      reply.arg[1] = *r;
+      return reply;
+    }
+    case ServOp::kRecv:
+    case ServOp::kRecvChain: {
+      Result<Socket*> s = Lookup(id);
+      if (!s.ok()) {
+        return fail(s.error());
+      }
+      size_t max = req.arg[2];
+      std::vector<uint8_t> buf(max);
+      SockAddrIn from;
+      Result<size_t> r = (*s)->Recv(buf.data(), max, &from, req.arg[3] != 0);
+      if (!r.ok()) {
+        return fail(r.error());
+      }
+      buf.resize(*r);
+      reply.arg[1] = *r;
+      reply.arg[2] = static_cast<uint64_t>(from.addr.v) << 16 | from.port;
+      reply.payload = std::move(buf);
+      return reply;
+    }
+    case ServOp::kSetOpt: {
+      Result<Socket*> s = Lookup(id);
+      if (!s.ok()) {
+        return fail(s.error());
+      }
+      Result<void> r =
+          ApplySockOpt(*s, static_cast<SockOpt>(req.arg[2]), static_cast<size_t>(req.arg[3]));
+      return r.ok() ? reply : fail(r.error());
+    }
+    case ServOp::kShutdown: {
+      Result<Socket*> s = Lookup(id);
+      if (!s.ok()) {
+        return fail(s.error());
+      }
+      Result<void> r = (*s)->Shutdown(req.arg[2] != 0, req.arg[3] != 0);
+      return r.ok() ? reply : fail(r.error());
+    }
+    case ServOp::kClose: {
+      Result<Socket*> s = Lookup(id);
+      if (!s.ok()) {
+        return fail(s.error());
+      }
+      (*s)->Close();
+      socks_.erase(id);
+      return reply;
+    }
+    case ServOp::kSelect: {
+      Decoder d(req.payload);
+      uint32_t nr = d.U32();
+      std::vector<Socket*> rd, wr;
+      for (uint32_t i = 0; i < nr; i++) {
+        Result<Socket*> s = Lookup(d.U64());
+        rd.push_back(s.ok() ? *s : nullptr);
+      }
+      uint32_t nw = d.U32();
+      for (uint32_t i = 0; i < nw; i++) {
+        Result<Socket*> s = Lookup(d.U64());
+        wr.push_back(s.ok() ? *s : nullptr);
+      }
+      int64_t timeout = static_cast<int64_t>(req.arg[2]);
+      std::vector<bool> rready, wready;
+      int n = SelectSockets(stack_.get(), rd, wr, timeout, &rready, &wready);
+      Encoder e;
+      e.U32(static_cast<uint32_t>(n));
+      for (bool b : rready) {
+        e.U8(b ? 1 : 0);
+      }
+      for (bool b : wready) {
+        e.U8(b ? 1 : 0);
+      }
+      reply.payload = e.Take();
+      return reply;
+    }
+    case ServOp::kLocalAddr: {
+      Result<Socket*> s = Lookup(id);
+      if (!s.ok()) {
+        return fail(s.error());
+      }
+      Encoder e;
+      PutAddr(&e, (*s)->local_addr());
+      reply.payload = e.Take();
+      return reply;
+    }
+  }
+  return fail(Err::kOpNotSupp);
+}
+
+// ---------------------------------------------------------------------------
+// Client stub
+
+UxServerNode::UxServerNode(UxServer* server) : server_(server), host_(server->host()) {}
+
+IpcMessage UxServerNode::Call(ServOp op, uint64_t fd, std::vector<uint8_t> payload, uint64_t a2,
+                              uint64_t a3) {
+  SimThread* self = host_->sim()->current_thread();
+  assert(self != nullptr);
+  self->Charge(host_->prof()->trap);
+  Port reply_port(host_->sim(), host_->prof(), "ux-reply");
+  IpcMessage req;
+  req.kind = static_cast<uint32_t>(op);
+  req.arg[1] = fd;
+  req.arg[2] = a2;
+  req.arg[3] = a3;
+  req.payload = std::move(payload);
+  return RpcCall(server_->request_port(), &reply_port, std::move(req));
+}
+
+Result<int> UxServerNode::CreateSocket(IpProto proto) {
+  IpcMessage rep = Call(ServOp::kSocket, 0, {}, static_cast<uint64_t>(proto));
+  if (rep.arg[0] != 0) {
+    return static_cast<Err>(rep.arg[0]);
+  }
+  return static_cast<int>(rep.arg[1]);
+}
+
+Result<void> UxServerNode::Bind(int fd, SockAddrIn local) {
+  Encoder e;
+  PutAddr(&e, local);
+  IpcMessage rep = Call(ServOp::kBind, fd, e.Take());
+  if (rep.arg[0] != 0) {
+    return static_cast<Err>(rep.arg[0]);
+  }
+  return OkResult();
+}
+
+Result<void> UxServerNode::Listen(int fd, int backlog) {
+  IpcMessage rep = Call(ServOp::kListen, fd, {}, backlog);
+  if (rep.arg[0] != 0) {
+    return static_cast<Err>(rep.arg[0]);
+  }
+  return OkResult();
+}
+
+Result<int> UxServerNode::Accept(int fd, SockAddrIn* peer) {
+  IpcMessage rep = Call(ServOp::kAccept, fd);
+  if (rep.arg[0] != 0) {
+    return static_cast<Err>(rep.arg[0]);
+  }
+  if (peer != nullptr) {
+    Decoder d(rep.payload);
+    *peer = GetAddr(&d);
+  }
+  return static_cast<int>(rep.arg[1]);
+}
+
+Result<void> UxServerNode::Connect(int fd, SockAddrIn remote) {
+  Encoder e;
+  PutAddr(&e, remote);
+  IpcMessage rep = Call(ServOp::kConnect, fd, e.Take());
+  if (rep.arg[0] != 0) {
+    return static_cast<Err>(rep.arg[0]);
+  }
+  return OkResult();
+}
+
+Result<size_t> UxServerNode::Send(int fd, const uint8_t* data, size_t len, const SockAddrIn* to) {
+  SimThread* self = host_->sim()->current_thread();
+  // First of the four RPC data copies: user buffer -> request message.
+  self->Charge(static_cast<SimDuration>(len) * host_->prof()->ipc_per_byte);
+  std::vector<uint8_t> payload(data, data + len);
+  uint64_t a2 = to != nullptr ? 1 : 0;
+  uint64_t a3 = to != nullptr ? (static_cast<uint64_t>(to->addr.v) << 16 | to->port) : 0;
+  IpcMessage rep = Call(ServOp::kSend, fd, std::move(payload), a2, a3);
+  // Attribute the RPC request leg to Table 4's entry/copyin row (the
+  // server-side socket layer records its own share via its span).
+  StageRecorder* probe = server_->stack()->env()->probe;
+  if (probe != nullptr) {
+    const MachineProfile* p = host_->prof();
+    probe->Add(Stage::kEntryCopyin,
+               p->trap + p->ipc_fixed + p->wakeup_cross +
+                   3 * static_cast<SimDuration>(len) * p->ipc_per_byte);
+  }
+  if (rep.arg[0] != 0) {
+    return static_cast<Err>(rep.arg[0]);
+  }
+  return static_cast<size_t>(rep.arg[1]);
+}
+
+Result<size_t> UxServerNode::Recv(int fd, uint8_t* out, size_t len, SockAddrIn* from, bool peek) {
+  IpcMessage rep = Call(ServOp::kRecv, fd, {}, len, peek ? 1 : 0);
+  if (rep.arg[0] != 0) {
+    return static_cast<Err>(rep.arg[0]);
+  }
+  size_t n = std::min(len, rep.payload.size());
+  // Last of the four copies: reply message -> user buffer.
+  host_->sim()->current_thread()->Charge(static_cast<SimDuration>(n) *
+                                         host_->prof()->ipc_per_byte);
+  // Attribute the RPC reply leg to Table 4's copyout/exit row.
+  StageRecorder* probe = server_->stack()->env()->probe;
+  if (probe != nullptr) {
+    const MachineProfile* p = host_->prof();
+    probe->Add(Stage::kCopyoutExit,
+               p->ipc_fixed + p->wakeup_cross +
+                   3 * static_cast<SimDuration>(n) * p->ipc_per_byte);
+  }
+  std::memcpy(out, rep.payload.data(), n);
+  if (from != nullptr) {
+    from->addr = Ipv4Addr(static_cast<uint32_t>(rep.arg[2] >> 16));
+    from->port = static_cast<uint16_t>(rep.arg[2] & 0xffff);
+  }
+  return n;
+}
+
+Result<size_t> UxServerNode::SendShared(int fd, std::shared_ptr<const std::vector<uint8_t>> buf,
+                                        size_t off, size_t len, const SockAddrIn* to) {
+  // Shared buffers cannot cross the RPC boundary: classic copy semantics.
+  return Send(fd, buf->data() + off, len, to);
+}
+
+Result<Chain> UxServerNode::RecvChain(int fd, size_t max, SockAddrIn* from) {
+  std::vector<uint8_t> tmp(max);
+  Result<size_t> n = Recv(fd, tmp.data(), max, from, false);
+  if (!n.ok()) {
+    return n.error();
+  }
+  return Chain::FromBytes(tmp.data(), *n);
+}
+
+Result<void> UxServerNode::SetOpt(int fd, SockOpt opt, size_t value) {
+  IpcMessage rep = Call(ServOp::kSetOpt, fd, {}, static_cast<uint64_t>(opt), value);
+  if (rep.arg[0] != 0) {
+    return static_cast<Err>(rep.arg[0]);
+  }
+  return OkResult();
+}
+
+Result<void> UxServerNode::Shutdown(int fd, bool rd, bool wr) {
+  IpcMessage rep = Call(ServOp::kShutdown, fd, {}, rd ? 1 : 0, wr ? 1 : 0);
+  if (rep.arg[0] != 0) {
+    return static_cast<Err>(rep.arg[0]);
+  }
+  return OkResult();
+}
+
+Result<void> UxServerNode::Close(int fd) {
+  IpcMessage rep = Call(ServOp::kClose, fd);
+  if (rep.arg[0] != 0) {
+    return static_cast<Err>(rep.arg[0]);
+  }
+  return OkResult();
+}
+
+Result<int> UxServerNode::Select(SelectFds* fds, SimDuration timeout) {
+  Encoder e;
+  e.U32(static_cast<uint32_t>(fds->read.size()));
+  for (int fd : fds->read) {
+    e.U64(static_cast<uint64_t>(fd));
+  }
+  e.U32(static_cast<uint32_t>(fds->write.size()));
+  for (int fd : fds->write) {
+    e.U64(static_cast<uint64_t>(fd));
+  }
+  IpcMessage rep = Call(ServOp::kSelect, 0, e.Take(), static_cast<uint64_t>(timeout));
+  if (rep.arg[0] != 0) {
+    return static_cast<Err>(rep.arg[0]);
+  }
+  Decoder d(rep.payload);
+  int n = static_cast<int>(d.U32());
+  fds->read_ready.resize(fds->read.size());
+  fds->write_ready.resize(fds->write.size());
+  for (size_t i = 0; i < fds->read.size(); i++) {
+    fds->read_ready[i] = d.U8() != 0;
+  }
+  for (size_t i = 0; i < fds->write.size(); i++) {
+    fds->write_ready[i] = d.U8() != 0;
+  }
+  return n;
+}
+
+SockAddrIn UxServerNode::LocalAddr(int fd) {
+  IpcMessage rep = Call(ServOp::kLocalAddr, fd);
+  Decoder d(rep.payload);
+  return GetAddr(&d);
+}
+
+}  // namespace psd

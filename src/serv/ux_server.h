@@ -1,0 +1,102 @@
+// Server-based protocol placement (CMU UX / BNR2SS architecture): the full
+// protocol stack and socket layer run inside a single UNIX-server task.
+// Applications reach it by Mach RPC; every data byte crosses four copies on
+// the way (user buffer -> message -> kernel -> server message -> mbuf) and
+// the protocol code synchronizes with the rest of the server through the
+// emulated spl priority-level machinery the paper identifies as the main
+// server overhead (§4.3).
+#ifndef PSD_SRC_SERV_UX_SERVER_H_
+#define PSD_SRC_SERV_UX_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/api/socket_api.h"
+#include "src/ipc/port.h"
+#include "src/kern/host.h"
+#include "src/sock/select.h"
+#include "src/sock/socket.h"
+
+namespace psd {
+
+// RPC message kinds (client -> server).
+enum class ServOp : uint32_t {
+  kSocket = 1,
+  kBind,
+  kListen,
+  kAccept,
+  kConnect,
+  kSend,
+  kRecv,
+  kRecvChain,
+  kSetOpt,
+  kShutdown,
+  kClose,
+  kSelect,
+  kLocalAddr,
+};
+
+class UxServer {
+ public:
+  UxServer(SimHost* host, int workers = 16);
+  ~UxServer();
+
+  UxServer(const UxServer&) = delete;
+  UxServer& operator=(const UxServer&) = delete;
+
+  Port* request_port() { return &request_port_; }
+  Stack* stack() { return stack_.get(); }
+  SimHost* host() { return host_; }
+  void SetStageRecorder(StageRecorder* rec);
+
+ private:
+  void InputBody();
+  void WorkerBody();
+  IpcMessage Handle(const IpcMessage& req);
+  Result<Socket*> Lookup(uint64_t id);
+
+  SimHost* host_;
+  std::unique_ptr<Stack> stack_;
+  Port request_port_;
+  Port packet_port_;
+  std::vector<SimThread*> threads_;
+  std::map<uint64_t, std::unique_ptr<Socket>> socks_;
+  uint64_t next_id_ = 1;
+};
+
+// Client-side stub: implements SocketApi by RPC to a UxServer on the same
+// host.
+class UxServerNode : public SocketApi {
+ public:
+  explicit UxServerNode(UxServer* server);
+
+  Result<int> CreateSocket(IpProto proto) override;
+  Result<void> Bind(int fd, SockAddrIn local) override;
+  Result<void> Listen(int fd, int backlog) override;
+  Result<int> Accept(int fd, SockAddrIn* peer) override;
+  Result<void> Connect(int fd, SockAddrIn remote) override;
+  Result<size_t> Send(int fd, const uint8_t* data, size_t len, const SockAddrIn* to) override;
+  Result<size_t> Recv(int fd, uint8_t* out, size_t len, SockAddrIn* from, bool peek) override;
+  Result<size_t> SendShared(int fd, std::shared_ptr<const std::vector<uint8_t>> buf, size_t off,
+                            size_t len, const SockAddrIn* to) override;
+  Result<Chain> RecvChain(int fd, size_t max, SockAddrIn* from) override;
+  Result<void> SetOpt(int fd, SockOpt opt, size_t value) override;
+  Result<void> Shutdown(int fd, bool rd, bool wr) override;
+  Result<void> Close(int fd) override;
+  Result<int> Select(SelectFds* fds, SimDuration timeout) override;
+  SockAddrIn LocalAddr(int fd) override;
+
+ private:
+  // One round trip: trap + request message + reply message, with real
+  // payload copies on each hop.
+  IpcMessage Call(ServOp op, uint64_t fd, std::vector<uint8_t> payload = {}, uint64_t a2 = 0,
+                  uint64_t a3 = 0);
+
+  UxServer* server_;
+  SimHost* host_;
+};
+
+}  // namespace psd
+
+#endif  // PSD_SRC_SERV_UX_SERVER_H_

@@ -1,0 +1,70 @@
+#include "src/sim/probe.h"
+
+#include <cassert>
+
+namespace psd {
+
+const char* StageName(Stage s) {
+  switch (s) {
+    case Stage::kEntryCopyin:
+      return "entry/copyin";
+    case Stage::kProtoOutput:
+      return "tcp,udp_output";
+    case Stage::kIpOutput:
+      return "ip_output";
+    case Stage::kEtherOutput:
+      return "ether_output";
+    case Stage::kDevIntrRead:
+      return "device intr/read";
+    case Stage::kNetisrFilter:
+      return "netisr/packet filter";
+    case Stage::kKernelCopyout:
+      return "kernel copyout";
+    case Stage::kMbufQueue:
+      return "mbuf/queue";
+    case Stage::kIpIntr:
+      return "ipintr";
+    case Stage::kProtoInput:
+      return "tcp,udp_input";
+    case Stage::kWakeupUser:
+      return "wakeup user thread";
+    case Stage::kCopyoutExit:
+      return "copyout/exit";
+    case Stage::kNetworkTransit:
+      return "network transit";
+    case Stage::kNumStages:
+      break;
+  }
+  return "?";
+}
+
+void StageRecorder::Reset() {
+  cells_ = {};
+  open_.clear();
+}
+
+void StageRecorder::BeginSpan(Simulator* sim, Stage s) {
+  const void* key = sim->current_thread();
+  open_[key].push_back(Open{s, sim->Now(), 0});
+}
+
+void StageRecorder::EndSpan(Simulator* sim, Stage s, bool commit) {
+  const void* key = sim->current_thread();
+  auto it = open_.find(key);
+  assert(it != open_.end() && !it->second.empty());
+  Open o = it->second.back();
+  it->second.pop_back();
+  assert(o.stage == s);
+  (void)s;
+  SimDuration elapsed = sim->Now() - o.start;
+  if (commit) {
+    Add(o.stage, elapsed - o.excluded);
+  }
+  if (!it->second.empty()) {
+    it->second.back().excluded += elapsed;
+  } else {
+    open_.erase(it);
+  }
+}
+
+}  // namespace psd

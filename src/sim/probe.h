@@ -1,0 +1,111 @@
+// Latency breakdown probes for reproducing Table 4.
+//
+// A StageRecorder accumulates virtual time per protocol-stack layer. Spans
+// may nest (the socket layer encloses tcp_output encloses ip_output...);
+// a child span's time is excluded from its parent, so each stage reports
+// only its own work — matching the paper's per-layer decomposition.
+// Span stacks are kept per simulated thread, since the receive path crosses
+// the interrupt, protocol-input and application threads.
+#ifndef PSD_SRC_SIM_PROBE_H_
+#define PSD_SRC_SIM_PROBE_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/sim/simulator.h"
+
+namespace psd {
+
+enum class Stage : int {
+  // Send path (Table 4 rows, top to bottom).
+  kEntryCopyin = 0,
+  kProtoOutput,  // tcp_output / udp_output
+  kIpOutput,
+  kEtherOutput,
+  // Receive path.
+  kDevIntrRead,
+  kNetisrFilter,
+  kKernelCopyout,
+  kMbufQueue,
+  kIpIntr,
+  kProtoInput,  // tcp_input / udp_input
+  kWakeupUser,
+  kCopyoutExit,
+  // Wire.
+  kNetworkTransit,
+  kNumStages,
+};
+
+const char* StageName(Stage s);
+
+class StageRecorder {
+ public:
+  struct Cell {
+    SimDuration total = 0;
+    uint64_t count = 0;
+    double MeanMicros() const {
+      return count == 0 ? 0.0 : ToMicros(total) / static_cast<double>(count);
+    }
+  };
+
+  // Adds a measured duration directly (used for cross-thread stages such as
+  // the user-thread wakeup, and for analytic wire transit time).
+  void Add(Stage s, SimDuration d) {
+    auto& c = cells_[static_cast<int>(s)];
+    c.total += d;
+    c.count++;
+  }
+
+  const Cell& cell(Stage s) const { return cells_[static_cast<int>(s)]; }
+  void Reset();
+
+  void BeginSpan(Simulator* sim, Stage s);
+  void EndSpan(Simulator* sim, Stage s, bool commit = true);
+
+ private:
+  struct Open {
+    Stage stage;
+    SimTime start;
+    SimDuration excluded = 0;
+  };
+  std::array<Cell, static_cast<int>(Stage::kNumStages)> cells_{};
+  std::map<const void*, std::vector<Open>> open_;
+};
+
+// RAII span over one stage. `rec` may be null (probes disabled).
+class ProbeSpan {
+ public:
+  ProbeSpan(StageRecorder* rec, Simulator* sim, Stage s) : rec_(rec), sim_(sim), stage_(s) {
+    if (rec_) {
+      rec_->BeginSpan(sim_, stage_);
+    }
+  }
+  ~ProbeSpan() {
+    if (rec_) {
+      rec_->EndSpan(sim_, stage_, committed_);
+    }
+  }
+
+  ProbeSpan(const ProbeSpan&) = delete;
+  ProbeSpan& operator=(const ProbeSpan&) = delete;
+
+  // For conditional work (e.g. tcp_output called for a window-update check
+  // that sends nothing): construct uncommitted spans with MarkConditional,
+  // then Commit only when the work actually happened, so means are per
+  // real packet.
+  void MarkConditional() { committed_ = false; }
+  void Commit() { committed_ = true; }
+
+ private:
+  StageRecorder* rec_;
+  Simulator* sim_;
+  Stage stage_;
+  bool committed_ = true;
+};
+
+}  // namespace psd
+
+#endif  // PSD_SRC_SIM_PROBE_H_

@@ -1,0 +1,272 @@
+#include "src/sim/simulator.h"
+
+#include <cassert>
+#include <exception>
+
+#include "src/base/log.h"
+
+namespace psd {
+
+Simulator::Simulator() = default;
+
+Simulator::~Simulator() {
+  shutting_down_ = true;
+  // Force every live thread to unwind: resuming a thread makes its blocking
+  // primitive return, and CheckShutdown throws SimShutdown through the body.
+  for (auto& t : threads_) {
+    while (!t->finished_) {
+      current_ = t.get();
+      t->RunUntilBlocked();
+      current_ = nullptr;
+    }
+  }
+  threads_.clear();  // joins OS threads
+}
+
+void Simulator::Schedule(SimTime t, std::function<void()> fn) {
+  assert(t >= now_);
+  events_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::ScheduleCharged(HostCpu* cpu, SimDuration cost, std::function<void()> fn) {
+  SimTime end = cpu->Acquire(now_, cost);
+  cpu->AccountBusy(cost);
+  Schedule(end, std::move(fn));
+}
+
+SimThread* Simulator::Spawn(std::string name, HostCpu* cpu, std::function<void()> body) {
+  auto t = std::unique_ptr<SimThread>(new SimThread(this, std::move(name), cpu, std::move(body)));
+  SimThread* raw = t.get();
+  threads_.push_back(std::move(t));
+  Schedule(now_, [this, raw] { ResumeThread(raw); });
+  return raw;
+}
+
+void Simulator::Run(SimTime until) {
+  stopped_ = false;
+  while (!stopped_ && !events_.empty() && events_.top().time <= until) {
+    Event ev = events_.top();
+    events_.pop();
+    now_ = ev.time;
+    events_executed_++;
+    ev.fn();
+  }
+  if (until != kTimeNever && now_ < until && !stopped_) {
+    now_ = until;
+  }
+}
+
+void Simulator::KillThread(SimThread* t) {
+  assert(current_ == nullptr && "KillThread must be called outside Run()");
+  t->killed_ = true;
+  while (!t->finished_) {
+    current_ = t;
+    t->RunUntilBlocked();
+    current_ = nullptr;
+  }
+}
+
+void Simulator::ResumeThread(SimThread* t) {
+  if (t->finished_) {
+    return;
+  }
+  assert(current_ == nullptr && "nested thread resume");
+  current_ = t;
+  t->resume_scheduled_ = false;
+  t->RunUntilBlocked();
+  current_ = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// SimThread
+
+SimThread::SimThread(Simulator* sim, std::string name, HostCpu* cpu, std::function<void()> body)
+    : sim_(sim), name_(std::move(name)), cpu_(cpu) {
+  os_thread_ = std::thread([this, body = std::move(body)]() mutable { ThreadMain(std::move(body)); });
+}
+
+SimThread::~SimThread() {
+  if (os_thread_.joinable()) {
+    os_thread_.join();
+  }
+}
+
+void SimThread::ThreadMain(std::function<void()> body) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return thread_has_token_; });
+  }
+  try {
+    CheckShutdown();
+    body();
+  } catch (const SimShutdown&) {
+    // Normal teardown path.
+  }
+  finished_ = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    thread_has_token_ = false;
+  }
+  cv_.notify_all();
+}
+
+void SimThread::RunUntilBlocked() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    thread_has_token_ = true;
+  }
+  cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return !thread_has_token_; });
+  }
+}
+
+void SimThread::YieldToSimulator() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    thread_has_token_ = false;
+  }
+  cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return thread_has_token_; });
+  }
+  CheckShutdown();
+}
+
+void SimThread::CheckShutdown() {
+  if ((sim_->shutting_down_ || killed_) && std::uncaught_exceptions() == 0) {
+    throw SimShutdown{};
+  }
+}
+
+void SimThread::Charge(SimDuration cost) {
+  assert(sim_->current_thread() == this);
+  if (cost <= 0) {
+    return;
+  }
+  assert(cpu_ != nullptr && "Charge on a thread with no host CPU");
+  SimTime end = cpu_->Acquire(sim_->Now(), cost);
+  cpu_->AccountBusy(cost);
+  SleepUntil(end);
+}
+
+void SimThread::SleepUntil(SimTime t) {
+  assert(sim_->current_thread() == this);
+  if (sim_->shutting_down_ || killed_) {
+    return;
+  }
+  sim_->Schedule(t, [this] { sim_->ResumeThread(this); });
+  YieldToSimulator();
+}
+
+void SimThread::SleepFor(SimDuration d) { SleepUntil(sim_->Now() + d); }
+
+void SimThread::Yield() { SleepUntil(sim_->Now()); }
+
+bool SimThread::WaitOn(WaitQueue* q, SimTime deadline) {
+  assert(sim_->current_thread() == this);
+  if (sim_->shutting_down_ || killed_) {
+    return false;
+  }
+  wait_epoch_++;
+  uint64_t epoch = wait_epoch_;
+  timed_out_ = false;
+  waiting_on_ = q;
+  q->waiters_.push_back(this);
+  if (deadline != kTimeNever) {
+    sim_->Schedule(deadline, [this, q, epoch] {
+      if (waiting_on_ == q && wait_epoch_ == epoch) {
+        timed_out_ = true;
+        waiting_on_ = nullptr;
+        for (auto it = q->waiters_.begin(); it != q->waiters_.end(); ++it) {
+          if (*it == this) {
+            q->waiters_.erase(it);
+            break;
+          }
+        }
+        sim_->ResumeThread(this);
+      }
+    });
+  }
+  try {
+    YieldToSimulator();
+  } catch (...) {
+    // Forced unwind: leave no dangling queue entry behind. During whole-
+    // simulator shutdown the queue's owner may already be destroyed, so the
+    // entry is only removed on targeted kills (component destructors kill
+    // their threads before freeing the queues they wait on).
+    if (!sim_->shutting_down_ && waiting_on_ != nullptr) {
+      for (auto it = waiting_on_->waiters_.begin(); it != waiting_on_->waiters_.end(); ++it) {
+        if (*it == this) {
+          waiting_on_->waiters_.erase(it);
+          break;
+        }
+      }
+      waiting_on_ = nullptr;
+    }
+    throw;
+  }
+  return !timed_out_;
+}
+
+// ---------------------------------------------------------------------------
+// WaitQueue
+
+bool WaitQueue::NotifyOne() {
+  if (waiters_.empty()) {
+    return false;
+  }
+  SimThread* t = waiters_.front();
+  waiters_.pop_front();
+  t->waiting_on_ = nullptr;
+  t->wait_epoch_++;  // invalidates any pending timeout event
+  t->timed_out_ = false;
+  sim_->Schedule(sim_->Now(), [t] { t->sim_->ResumeThread(t); });
+  return true;
+}
+
+void WaitQueue::NotifyAll() {
+  while (NotifyOne()) {
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SimMutex / SimCondition
+
+void SimMutex::Lock() {
+  Simulator* sim = waiters_.simulator();
+  SimThread* self = sim->current_thread();
+  assert(self != nullptr && "SimMutex requires thread context");
+  while (owner_ != nullptr) {
+    self->WaitOn(&waiters_);
+  }
+  owner_ = self;
+}
+
+void SimMutex::Unlock() {
+  SimThread* self = waiters_.simulator()->current_thread();
+  if (owner_ != self) {
+    // Only legal during forced unwind: a SimCondition::Wait interrupted by
+    // shutdown/kill never reacquired the mutex, but the RAII lock guard
+    // still runs. Outside unwind this is a bug.
+    assert(std::uncaught_exceptions() > 0);
+    return;
+  }
+  owner_ = nullptr;
+  waiters_.NotifyOne();
+}
+
+bool SimCondition::Wait(SimMutex* mu, SimTime deadline) {
+  Simulator* sim = q_.simulator();
+  SimThread* self = sim->current_thread();
+  assert(self != nullptr);
+  assert(mu->owner() == self);
+  mu->Unlock();
+  bool notified = self->WaitOn(&q_, deadline);
+  mu->Lock();
+  return notified;
+}
+
+}  // namespace psd

@@ -1,0 +1,256 @@
+// Deterministic discrete-event simulator.
+//
+// Execution model:
+//  * A single logical thread of control. The simulator event loop runs on the
+//    caller's OS thread; SimThreads run user code in ordinary blocking style
+//    on dedicated OS threads, but control is handed off strictly (exactly one
+//    of {event loop, some SimThread} runs at any instant), so simulation
+//    state needs no locking and runs are bit-for-bit reproducible.
+//  * Virtual time advances only between events. Events at equal times run in
+//    schedule order (monotonic sequence tie-break).
+//  * CPU time is modelled per host by HostCpu: charging N ns of CPU occupies
+//    the host CPU for N virtual ns, serializing against every other charge on
+//    the same host (threads, softirqs and interrupt handlers contend for the
+//    CPU exactly as on the paper's uniprocessor DECstation).
+#ifndef PSD_SRC_SIM_SIMULATOR_H_
+#define PSD_SRC_SIM_SIMULATOR_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/time.h"
+
+namespace psd {
+
+class Simulator;
+class SimThread;
+class WaitQueue;
+
+// Serializes charged CPU time on one simulated host. Not a scheduler: it
+// computes when a newly requested slice of CPU completes, given all slices
+// already granted. (Non-preemptive at slice granularity; slices are small.)
+class HostCpu {
+ public:
+  // Requests `cost` ns of CPU starting no earlier than `now`. Returns the
+  // virtual time at which the slice completes.
+  SimTime Acquire(SimTime now, SimDuration cost) {
+    SimTime start = std::max(now, free_at_);
+    free_at_ = start + cost;
+    return free_at_;
+  }
+
+  SimTime free_at() const { return free_at_; }
+
+  // Accumulated busy time, for utilization reporting.
+  void AccountBusy(SimDuration cost) { busy_ += cost; }
+  SimDuration busy() const { return busy_; }
+
+ private:
+  SimTime free_at_ = 0;
+  SimDuration busy_ = 0;
+};
+
+// Thrown inside SimThreads when the simulator shuts down while they are
+// blocked; unwinds the thread body. Never catch it (catch(...) must rethrow).
+struct SimShutdown {};
+
+class Simulator {
+ public:
+  Simulator();
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` to run in event context at virtual time `t` (>= Now()).
+  void Schedule(SimTime t, std::function<void()> fn);
+  void ScheduleAfter(SimDuration d, std::function<void()> fn) { Schedule(now_ + d, std::move(fn)); }
+
+  // Schedules `fn` after charging `cost` of CPU on `cpu` (interrupt-handler
+  // style execution: the charge serializes against thread charges).
+  void ScheduleCharged(HostCpu* cpu, SimDuration cost, std::function<void()> fn);
+
+  // Spawns a simulated thread executing `body`. The thread starts at the
+  // current virtual time (after currently queued events at this time).
+  // Returned pointer is owned by the simulator and valid until destruction.
+  SimThread* Spawn(std::string name, HostCpu* cpu, std::function<void()> body);
+
+  // Forcibly unwinds a thread (SimShutdown propagates through its body).
+  // Must be called outside Run() (not from event or thread context). Used
+  // by component destructors to stop their service threads while their
+  // state is still alive.
+  void KillThread(SimThread* t);
+
+  // Runs until the event queue is empty or a deadline/stop is reached.
+  void Run(SimTime until = kTimeNever);
+  void RunFor(SimDuration d) { Run(now_ + d); }
+  void Stop() { stopped_ = true; }
+
+  // The currently executing SimThread, or nullptr in event context.
+  SimThread* current_thread() const { return current_; }
+
+  bool shutting_down() const { return shutting_down_; }
+
+  // Number of events executed; useful for run-cost diagnostics.
+  uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  friend class SimThread;
+  friend class WaitQueue;
+
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  void ResumeThread(SimThread* t);
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_executed_ = 0;
+  bool stopped_ = false;
+  bool shutting_down_ = false;
+  SimThread* current_ = nullptr;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  std::vector<std::unique_ptr<SimThread>> threads_;
+};
+
+// A simulated thread. User code runs on a dedicated OS thread but under
+// strict hand-off with the simulator loop; use the blocking primitives below
+// instead of OS synchronization.
+class SimThread {
+ public:
+  ~SimThread();
+
+  SimThread(const SimThread&) = delete;
+  SimThread& operator=(const SimThread&) = delete;
+
+  const std::string& name() const { return name_; }
+  HostCpu* cpu() const { return cpu_; }
+  bool finished() const { return finished_; }
+
+  // --- Callable only from within this thread's body ---
+
+  // Consumes `cost` ns of CPU on this thread's host.
+  void Charge(SimDuration cost);
+
+  // Sleeps without consuming CPU (e.g. waiting for a timer).
+  void SleepUntil(SimTime t);
+  void SleepFor(SimDuration d);
+
+  // Blocks on `q` until notified or `deadline` passes. Returns true if
+  // notified, false on timeout.
+  bool WaitOn(WaitQueue* q, SimTime deadline = kTimeNever);
+
+  // Yields to let same-time events run (reschedules self at Now()).
+  void Yield();
+
+ private:
+  friend class Simulator;
+  friend class WaitQueue;
+
+  SimThread(Simulator* sim, std::string name, HostCpu* cpu, std::function<void()> body);
+
+  void ThreadMain(std::function<void()> body);
+  // Transfers control: simulator -> thread. Runs on the simulator OS thread.
+  void RunUntilBlocked();
+  // Transfers control: thread -> simulator. Runs on this OS thread.
+  void YieldToSimulator();
+  void CheckShutdown();
+
+  Simulator* sim_;
+  std::string name_;
+  HostCpu* cpu_;
+
+  // Hand-off machinery (the only OS-level synchronization in the system).
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool thread_has_token_ = false;
+  bool started_ = false;
+  bool finished_ = false;
+
+  // Wait bookkeeping (touched only under the simulation's logical lock).
+  WaitQueue* waiting_on_ = nullptr;
+  uint64_t wait_epoch_ = 0;
+  bool timed_out_ = false;
+  bool resume_scheduled_ = false;
+  bool killed_ = false;
+
+  std::thread os_thread_;
+};
+
+// FIFO wait queue (condition-variable-like). Notify wakes in wait order.
+class WaitQueue {
+ public:
+  explicit WaitQueue(Simulator* sim) : sim_(sim) {}
+
+  WaitQueue(const WaitQueue&) = delete;
+  WaitQueue& operator=(const WaitQueue&) = delete;
+
+  // Wakes the longest-waiting thread, if any. Returns true if one was woken.
+  bool NotifyOne();
+  void NotifyAll();
+
+  bool empty() const { return waiters_.empty(); }
+  size_t size() const { return waiters_.size(); }
+  Simulator* simulator() const { return sim_; }
+
+ private:
+  friend class SimThread;
+
+  Simulator* sim_;
+  std::deque<SimThread*> waiters_;
+};
+
+// Recursive-free sleeping mutex for protocol critical sections. Lock may
+// block (yielding to the simulator); protocol code paths that sleep while
+// holding a mutex must use SimCondition::Wait which releases it.
+class SimMutex {
+ public:
+  explicit SimMutex(Simulator* sim) : waiters_(sim) {}
+
+  void Lock();
+  void Unlock();
+  bool held() const { return owner_ != nullptr; }
+  SimThread* owner() const { return owner_; }
+
+ private:
+  friend class SimCondition;
+  SimThread* owner_ = nullptr;
+  WaitQueue waiters_;
+};
+
+// Condition variable over SimMutex.
+class SimCondition {
+ public:
+  explicit SimCondition(Simulator* sim) : q_(sim) {}
+
+  // Atomically releases `mu` and waits; reacquires before returning.
+  // Returns false on timeout.
+  bool Wait(SimMutex* mu, SimTime deadline = kTimeNever);
+  void NotifyOne() { q_.NotifyOne(); }
+  void NotifyAll() { q_.NotifyAll(); }
+  bool has_waiters() const { return !q_.empty(); }
+
+ private:
+  WaitQueue q_;
+};
+
+}  // namespace psd
+
+#endif  // PSD_SRC_SIM_SIMULATOR_H_

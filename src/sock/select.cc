@@ -1,0 +1,86 @@
+#include "src/sock/select.h"
+
+namespace psd {
+
+int SelectSockets(Stack* stack, const std::vector<Socket*>& rd, const std::vector<Socket*>& wr,
+                  SimDuration timeout, std::vector<bool>* rd_ready, std::vector<bool>* wr_ready,
+                  SimCondition* extra_wake_cv, bool* extra_wake_flag) {
+  DomainLock lock(stack->sync());
+  Simulator* sim = stack->env()->sim;
+  SimCondition cv(sim);
+
+  auto compute = [&]() -> int {
+    int n = 0;
+    rd_ready->assign(rd.size(), false);
+    wr_ready->assign(wr.size(), false);
+    for (size_t i = 0; i < rd.size(); i++) {
+      if (rd[i] != nullptr && rd[i]->Readable()) {
+        (*rd_ready)[i] = true;
+        n++;
+      }
+    }
+    for (size_t i = 0; i < wr.size(); i++) {
+      if (wr[i] != nullptr && wr[i]->Writable()) {
+        (*wr_ready)[i] = true;
+        n++;
+      }
+    }
+    return n;
+  };
+
+  int n = compute();
+  if (n > 0 || timeout == 0) {
+    return n;
+  }
+  SimTime deadline = timeout < 0 ? kTimeNever : sim->Now() + timeout;
+  SimCondition* wait_cv = extra_wake_cv != nullptr ? extra_wake_cv : &cv;
+
+  // Chain a notification onto each socket's readiness callback.
+  std::vector<std::function<void()>> saved;
+  std::vector<Socket*> hooked;
+  auto hook = [&](Socket* s) {
+    if (s == nullptr) {
+      return;
+    }
+    for (Socket* h : hooked) {
+      if (h == s) {
+        return;  // already hooked (fd in both sets)
+      }
+    }
+    saved.push_back(s->readiness_callback());
+    std::function<void()> prev = saved.back();
+    s->SetReadinessCallback([wait_cv, prev] {
+      wait_cv->NotifyAll();
+      if (prev) {
+        prev();
+      }
+    });
+    hooked.push_back(s);
+  };
+  for (Socket* s : rd) {
+    hook(s);
+  }
+  for (Socket* s : wr) {
+    hook(s);
+  }
+
+  for (;;) {
+    n = compute();
+    if (n > 0 || sim->Now() >= deadline) {
+      break;
+    }
+    if (extra_wake_flag != nullptr && *extra_wake_flag) {
+      break;
+    }
+    // Socket readiness callbacks and (when provided) the external
+    // cooperation path both notify wait_cv.
+    wait_cv->Wait(stack->sync()->mutex(), deadline);
+  }
+
+  for (size_t i = 0; i < hooked.size(); i++) {
+    hooked[i]->SetReadinessCallback(saved[i]);
+  }
+  return n;
+}
+
+}  // namespace psd

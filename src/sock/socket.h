@@ -1,0 +1,126 @@
+// BSD socket semantics over a protocol stack: blocking send/receive with
+// socket-buffer flow control, listen/accept, connect, shutdown/close,
+// SO_SNDBUF/SO_RCVBUF/TCP_NODELAY/SO_KEEPALIVE, readiness callbacks for
+// select, and both data interfaces:
+//   * the classic copying interface (sosend/soreceive), and
+//   * the NEWAPI shared-buffer interface from paper §4.2, where application
+//     and protocol stack exchange buffer ownership instead of copying.
+//
+// One Socket class serves all three placements; the placement glue supplies
+// a BoundaryModel that prices the user/kernel (or user/server) crossings at
+// the socket-layer entry and exit.
+#ifndef PSD_SRC_SOCK_SOCKET_H_
+#define PSD_SRC_SOCK_SOCKET_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/base/result.h"
+#include "src/inet/stack.h"
+
+namespace psd {
+
+// Prices the protection-boundary crossing around socket-layer calls.
+// entry(len): called at the start of a send with the payload size, and at
+// the start of control ops with 0. exit(len): called on the receive path
+// with the delivered size. Either may be null (no crossing: the library
+// placement's fast path).
+struct BoundaryModel {
+  std::function<void(size_t)> charge_entry;
+  std::function<void(size_t)> charge_exit;
+};
+
+class Socket {
+ public:
+  // Creates a fresh socket of the given protocol on `stack`.
+  Socket(Stack* stack, IpProto proto);
+  // Wraps an already-existing TCP pcb (accepted child or migrated session).
+  Socket(Stack* stack, TcpPcb* pcb);
+  // Wraps an already-existing UDP pcb (migrated session).
+  Socket(Stack* stack, UdpPcb* pcb);
+  ~Socket();
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  void SetBoundary(BoundaryModel boundary) { boundary_ = std::move(boundary); }
+
+  // --- Control operations (block where BSD blocks) ---
+  Result<void> Bind(SockAddrIn local);
+  Result<void> Listen(int backlog);
+  Result<void> Connect(SockAddrIn remote);
+  Result<std::unique_ptr<Socket>> Accept(SockAddrIn* peer);
+  Result<void> Shutdown(bool rd, bool wr);
+  // Graceful close. TCP continues the FIN handshake in the background
+  // (BSD semantics without SO_LINGER). The Socket is unusable afterwards.
+  Result<void> Close();
+
+  // --- Classic data interface (copies between caller and stack) ---
+  Result<size_t> Send(const uint8_t* data, size_t len, const SockAddrIn* to = nullptr,
+                      bool urgent = false);
+  Result<size_t> Recv(uint8_t* out, size_t len, SockAddrIn* from = nullptr, bool peek = false);
+
+  // --- NEWAPI shared-buffer interface (paper §4.2) ---
+  // Sends from a caller-owned immutable buffer without copying; the stack
+  // holds references until the data is acknowledged.
+  Result<size_t> SendShared(std::shared_ptr<const std::vector<uint8_t>> buf, size_t off,
+                            size_t len, const SockAddrIn* to = nullptr);
+  // Receives by transferring buffer ownership out of the stack (no copy).
+  // For UDP, at most one datagram; `from` receives its source.
+  Result<Chain> RecvChain(size_t max, SockAddrIn* from = nullptr);
+
+  // --- Options ---
+  Result<void> SetRcvBuf(size_t bytes);
+  Result<void> SetSndBuf(size_t bytes);
+  Result<void> SetNoDelay(bool on);
+  Result<void> SetKeepAlive(bool on);
+
+  // --- Introspection / select support (callable under the domain lock or
+  // from readiness callbacks) ---
+  bool Readable() const;
+  bool Writable() const;
+  bool HasError() const;
+  // Fired (in protocol-thread context, lock held) whenever readability/
+  // writability may have changed. Used by select machinery.
+  void SetReadinessCallback(std::function<void()> cb) { on_readiness_ = std::move(cb); }
+  const std::function<void()>& readiness_callback() const { return on_readiness_; }
+
+  IpProto proto() const { return proto_; }
+  Stack* stack() const { return stack_; }
+  TcpPcb* tcp_pcb() const { return tcp_; }
+  UdpPcb* udp_pcb() const { return udp_; }
+  SockAddrIn local_addr() const;
+  SockAddrIn remote_addr() const;
+  bool listening() const { return tcp_ != nullptr && tcp_->state == TcpState::kListen; }
+
+  // Detaches the pcb from this socket (used by session migration: the pcb's
+  // state leaves this placement). The socket becomes unusable.
+  TcpPcb* DetachTcpPcb();
+  UdpPcb* DetachUdpPcb();
+
+ private:
+  void InstallHooks();
+  void WakeReaders();
+  void WakeWriters();
+  void WakeState();
+  SimDuration WakeupCost() const;
+  Err ConsumeError();
+
+  Stack* stack_;
+  IpProto proto_;
+  TcpPcb* tcp_ = nullptr;
+  UdpPcb* udp_ = nullptr;
+  BoundaryModel boundary_;
+
+  SimCondition rcv_cv_;
+  SimCondition snd_cv_;
+  SimCondition state_cv_;
+  std::function<void()> on_readiness_;
+  bool closed_ = false;
+  bool shutdown_rd_ = false;
+  bool shutdown_wr_ = false;
+};
+
+}  // namespace psd
+
+#endif  // PSD_SRC_SOCK_SOCKET_H_

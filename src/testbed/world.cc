@@ -1,0 +1,98 @@
+#include "src/testbed/world.h"
+
+namespace psd {
+
+const char* ConfigName(Config c) {
+  switch (c) {
+    case Config::kInKernel:
+      return "In-Kernel";
+    case Config::kServer:
+      return "Server";
+    case Config::kLibraryIpc:
+      return "Library-IPC";
+    case Config::kLibraryShm:
+      return "Library-SHM";
+    case Config::kLibraryShmIpf:
+      return "Library-SHM-IPF";
+  }
+  return "?";
+}
+
+bool IsLibraryConfig(Config c) {
+  return c == Config::kLibraryIpc || c == Config::kLibraryShm || c == Config::kLibraryShmIpf;
+}
+
+World::World(Config config, const MachineProfile& profile, int hosts, bool pio_nic)
+    : config_(config),
+      profile_(profile),
+      wire_(&sim_, WireParams{profile.wire_per_byte, profile.wire_latency,
+                              profile.wire_min_frame, 4}) {
+  for (int i = 0; i < hosts; i++) {
+    auto node = std::make_unique<Node>();
+    std::string name = "h" + std::to_string(i);
+    node->host = std::make_unique<SimHost>(&sim_, name, &profile_, &wire_, addr(i),
+                                           static_cast<uint16_t>(i + 1), pio_nic);
+    switch (config) {
+      case Config::kInKernel:
+        node->kernel_node = std::make_unique<KernelNode>(node->host.get());
+        node->api = node->kernel_node.get();
+        break;
+      case Config::kServer:
+        node->ux = std::make_unique<UxServer>(node->host.get());
+        node->ux_node = std::make_unique<UxServerNode>(node->ux.get());
+        node->api = node->ux_node.get();
+        break;
+      case Config::kLibraryIpc:
+      case Config::kLibraryShm:
+      case Config::kLibraryShmIpf: {
+        RxPath path = config == Config::kLibraryIpc  ? RxPath::kIpc
+                      : config == Config::kLibraryShm ? RxPath::kShm
+                                                      : RxPath::kShmIpf;
+        node->ns = std::make_unique<NetServer>(node->host.get());
+        node->lib =
+            std::make_unique<ProtocolLibrary>(node->host.get(), node->ns.get(), name + "/app",
+                                              path);
+        node->lib_node = std::make_unique<LibraryNode>(node->lib.get());
+        node->api = node->lib_node.get();
+        break;
+      }
+    }
+    nodes_.push_back(std::move(node));
+  }
+}
+
+World::~World() {
+  for (SimThread* t : app_threads_) {
+    if (!t->finished()) {
+      sim_.KillThread(t);
+    }
+  }
+}
+
+void World::AttachProbe(int i, StageRecorder* rec) {
+  Node* n = nodes_[i].get();
+  if (n->kernel_node != nullptr) {
+    n->kernel_node->SetStageRecorder(rec);
+  }
+  if (n->ux != nullptr) {
+    n->ux->SetStageRecorder(rec);
+  }
+  if (n->ns != nullptr) {
+    n->ns->SetStageRecorder(rec);
+  }
+  if (n->lib != nullptr) {
+    n->lib->SetStageRecorder(rec);
+  }
+}
+
+ProtocolLibrary* World::AddLibrary(int i, const std::string& name) {
+  Node* n = nodes_[i].get();
+  if (n->ns == nullptr) {
+    return nullptr;
+  }
+  n->extra_libs.push_back(
+      std::make_unique<ProtocolLibrary>(n->host.get(), n->ns.get(), name, n->lib->rx_path()));
+  return n->extra_libs.back().get();
+}
+
+}  // namespace psd

@@ -1,0 +1,96 @@
+// Test/bench/example harness: assembles a small network of simulated hosts
+// in one of the paper's protocol placements and exposes a SocketApi per
+// host. This is the "testbed" the evaluation runs on: N machines on a
+// private 10 Mb/s Ethernet (the paper used two DECstation 5000/200s or two
+// Gateway 486s in single-user mode).
+#ifndef PSD_SRC_TESTBED_WORLD_H_
+#define PSD_SRC_TESTBED_WORLD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/api/kernel_node.h"
+#include "src/core/library_node.h"
+#include "src/serv/ux_server.h"
+
+namespace psd {
+
+// The system configurations of Table 2.
+enum class Config {
+  kInKernel,       // Mach 2.5 / Ultrix / 386BSD style
+  kServer,         // Mach 3.0 + UX / BNR2SS style
+  kLibraryIpc,     // Mach 3.0 + UX, protocol library, IPC packet filter
+  kLibraryShm,     // ... shared-memory packet filter
+  kLibraryShmIpf,  // ... shared-memory + integrated packet filter
+};
+
+const char* ConfigName(Config c);
+bool IsLibraryConfig(Config c);
+
+class World {
+ public:
+  // Builds `hosts` machines at 10.0.0.(i+1) on one segment.
+  World(Config config, const MachineProfile& profile, int hosts = 2, bool pio_nic = false);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  Simulator& sim() { return sim_; }
+  EthernetSegment& wire() { return wire_; }
+  const MachineProfile& profile() const { return profile_; }
+  Config config() const { return config_; }
+
+  SimHost* host(int i) { return nodes_[i]->host.get(); }
+  SocketApi* api(int i) { return nodes_[i]->api; }
+  Ipv4Addr addr(int i) const { return Ipv4Addr::FromOctets(10, 0, 0, static_cast<uint8_t>(i + 1)); }
+
+  // Placement internals, for tests that inspect them (null when the
+  // configuration doesn't have the component).
+  KernelNode* kernel_node(int i) { return nodes_[i]->kernel_node.get(); }
+  UxServer* ux_server(int i) { return nodes_[i]->ux.get(); }
+  NetServer* net_server(int i) { return nodes_[i]->ns.get(); }
+  ProtocolLibrary* library(int i) { return nodes_[i]->lib.get(); }
+  LibraryNode* library_node(int i) { return nodes_[i]->lib_node.get(); }
+
+  // Spawns an application thread on host `i`. Threads still blocked at
+  // World destruction are force-unwound before the components they use are
+  // torn down.
+  SimThread* SpawnApp(int i, const std::string& name, std::function<void()> body) {
+    SimThread* t = sim_.Spawn(name, nodes_[i]->host->cpu(), std::move(body));
+    app_threads_.push_back(t);
+    return t;
+  }
+
+  // Attaches a Table 4 stage recorder to every component on host `i`.
+  void AttachProbe(int i, StageRecorder* rec);
+
+  // Creates an extra library application on host `i` (library configs
+  // only), e.g. the child of a fork or a second process sharing the host.
+  ProtocolLibrary* AddLibrary(int i, const std::string& name);
+
+ private:
+  struct Node {
+    std::unique_ptr<SimHost> host;
+    std::unique_ptr<KernelNode> kernel_node;
+    std::unique_ptr<UxServer> ux;
+    std::unique_ptr<UxServerNode> ux_node;
+    std::unique_ptr<NetServer> ns;
+    std::unique_ptr<ProtocolLibrary> lib;
+    std::unique_ptr<LibraryNode> lib_node;
+    std::vector<std::unique_ptr<ProtocolLibrary>> extra_libs;
+    SocketApi* api = nullptr;
+  };
+
+  Config config_;
+  MachineProfile profile_;
+  Simulator sim_;
+  EthernetSegment wire_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<SimThread*> app_threads_;
+};
+
+}  // namespace psd
+
+#endif  // PSD_SRC_TESTBED_WORLD_H_

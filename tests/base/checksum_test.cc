@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/base/checksum.h"
+#include "src/base/codec.h"
+#include "src/base/result.h"
+#include "src/base/rng.h"
+
+namespace psd {
+namespace {
+
+TEST(Checksum, RfcExample) {
+  // RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7 -> sum 0xddf2, checksum ~0xddf2.
+  const uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(InternetChecksum(data, sizeof(data)), static_cast<uint16_t>(~0xddf2));
+}
+
+TEST(Checksum, VerifiesToZero) {
+  // A buffer with its own checksum folded in verifies to 0.
+  std::vector<uint8_t> data = {0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00,
+                               0x40, 0x11, 0x00, 0x00, 0x0a, 0x00, 0x00, 0x01,
+                               0x0a, 0x00, 0x00, 0x02};
+  uint16_t sum = InternetChecksum(data.data(), data.size());
+  data[10] = static_cast<uint8_t>(sum >> 8);
+  data[11] = static_cast<uint8_t>(sum);
+  EXPECT_EQ(InternetChecksum(data.data(), data.size()), 0);
+}
+
+TEST(Checksum, EmptyIsAllOnes) {
+  EXPECT_EQ(InternetChecksum(nullptr, 0), 0xffff);
+}
+
+TEST(Checksum, OddLength) {
+  const uint8_t data[] = {0xab, 0xcd, 0xef};
+  // Odd final byte is the high half of a padded word.
+  ChecksumAccumulator acc;
+  acc.Add(data, 3);
+  uint64_t expect = 0xabcd + 0xef00;
+  EXPECT_EQ(acc.Finish(), static_cast<uint16_t>(~((expect & 0xffff) + (expect >> 16))));
+}
+
+// Property: splitting a buffer at any point and accumulating the pieces
+// gives the same checksum as one shot (mbuf chains depend on this).
+TEST(Checksum, SplitInvariance) {
+  Rng rng(42);
+  for (int trial = 0; trial < 50; trial++) {
+    size_t n = 1 + rng.Below(300);
+    std::vector<uint8_t> data(n);
+    for (auto& b : data) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    uint16_t whole = InternetChecksum(data.data(), n);
+    size_t cut1 = rng.Below(n + 1);
+    size_t cut2 = cut1 + rng.Below(n - cut1 + 1);
+    ChecksumAccumulator acc;
+    acc.Add(data.data(), cut1);
+    acc.Add(data.data() + cut1, cut2 - cut1);
+    acc.Add(data.data() + cut2, n - cut2);
+    EXPECT_EQ(acc.Finish(), whole) << "n=" << n << " cuts " << cut1 << "," << cut2;
+  }
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> ok(7);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 7);
+  EXPECT_EQ(ok.error(), Err::kOk);
+
+  Result<int> bad(Err::kConnRefused);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), Err::kConnRefused);
+  EXPECT_STREQ(ErrName(bad.error()), "ECONNREFUSED");
+}
+
+TEST(Result, VoidSpecialization) {
+  Result<void> ok = OkResult();
+  EXPECT_TRUE(ok.ok());
+  Result<void> bad(Err::kTimedOut);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), Err::kTimedOut);
+}
+
+TEST(Codec, RoundTrip) {
+  Encoder e;
+  e.U8(7);
+  e.U16(0xabcd);
+  e.U32(0xdeadbeef);
+  e.U64(0x0123456789abcdefULL);
+  e.Bytes(std::vector<uint8_t>{1, 2, 3});
+  std::vector<uint8_t> buf = e.Take();
+
+  Decoder d(buf);
+  EXPECT_EQ(d.U8(), 7);
+  EXPECT_EQ(d.U16(), 0xabcd);
+  EXPECT_EQ(d.U32(), 0xdeadbeefu);
+  EXPECT_EQ(d.U64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(d.Bytes(), (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_FALSE(d.failed());
+}
+
+TEST(Codec, TruncationFails) {
+  Encoder e;
+  e.U32(5);
+  std::vector<uint8_t> buf = e.Take();
+  buf.pop_back();
+  Decoder d(buf);
+  d.U32();
+  EXPECT_TRUE(d.failed());
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; i++) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, RangeBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; i++) {
+    int64_t v = rng.Range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+}  // namespace
+}  // namespace psd

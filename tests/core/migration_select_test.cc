@@ -1,0 +1,265 @@
+// Session migration under traffic, fork semantics, and the cooperative
+// select (§3.2) in the library placement.
+#include <gtest/gtest.h>
+
+#include "src/testbed/world.h"
+
+namespace psd {
+namespace {
+
+TEST(Migration, StateRoundTripsThroughEncoding) {
+  TcpMigrationState st;
+  st.local = {Ipv4Addr::FromOctets(10, 0, 0, 1), 5001};
+  st.remote = {Ipv4Addr::FromOctets(10, 0, 0, 2), 1024};
+  st.state = TcpState::kEstablished;
+  st.iss = 1000;
+  st.snd_una = 1200;
+  st.snd_nxt = 1300;
+  st.snd_max = 1300;
+  st.snd_wnd = 8192;
+  st.rcv_nxt = 99887;
+  st.rcv_wnd = 4096;
+  st.t_maxseg = 1460;
+  st.nodelay = true;
+  st.sent_fin = false;
+  st.snd_data = {1, 2, 3, 4, 5};
+  st.rcv_data = {9, 8};
+  st.reasm.emplace_back(100000u, std::vector<uint8_t>{7, 7, 7});
+
+  std::vector<uint8_t> bytes = st.Encode();
+  Result<TcpMigrationState> back = TcpMigrationState::Decode(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->local, st.local);
+  EXPECT_EQ(back->remote, st.remote);
+  EXPECT_EQ(back->state, TcpState::kEstablished);
+  EXPECT_EQ(back->snd_una, 1200u);
+  EXPECT_EQ(back->rcv_nxt, 99887u);
+  EXPECT_EQ(back->t_maxseg, 1460);
+  EXPECT_TRUE(back->nodelay);
+  EXPECT_EQ(back->snd_data, st.snd_data);
+  EXPECT_EQ(back->rcv_data, st.rcv_data);
+  ASSERT_EQ(back->reasm.size(), 1u);
+  EXPECT_EQ(back->reasm[0].first, 100000u);
+}
+
+TEST(Migration, DecodeRejectsCorruptBytes) {
+  std::vector<uint8_t> junk = {1, 2, 3};
+  EXPECT_FALSE(TcpMigrationState::Decode(junk).ok());
+  TcpMigrationState st;
+  std::vector<uint8_t> bytes = st.Encode();
+  bytes.resize(bytes.size() / 2);
+  EXPECT_FALSE(TcpMigrationState::Decode(bytes).ok());
+}
+
+// A transfer continues correctly across a mid-stream migration: the client
+// returns the session to the server (fork preparation) in the middle of a
+// transfer, then keeps sending through the server.
+TEST(Migration, MidStreamReturnPreservesByteStream) {
+  World w(Config::kLibraryShmIpf, MachineProfile::DecStation5000());
+  constexpr size_t kTotal = 60 * 1024;
+  bool ok = false;
+
+  w.SpawnApp(1, "rx", [&] {
+    SocketApi* api = w.api(1);
+    int lfd = *api->CreateSocket(IpProto::kTcp);
+    api->Bind(lfd, SockAddrIn{Ipv4Addr::Any(), 5001});
+    api->Listen(lfd, 1);
+    Result<int> cfd = api->Accept(lfd, nullptr);
+    ASSERT_TRUE(cfd.ok());
+    size_t got = 0;
+    bool content_ok = true;
+    uint8_t buf[2048];
+    for (;;) {
+      Result<size_t> n = api->Recv(*cfd, buf, sizeof(buf), nullptr, false);
+      if (!n.ok() || *n == 0) {
+        break;
+      }
+      for (size_t i = 0; i < *n; i++) {
+        content_ok &= buf[i] == static_cast<uint8_t>((got + i) % 249);
+      }
+      got += *n;
+    }
+    ok = content_ok && got == kTotal;
+  });
+
+  w.SpawnApp(0, "tx", [&] {
+    LibraryNode* node = w.library_node(0);
+    w.sim().current_thread()->SleepFor(Millis(10));
+    int fd = *node->CreateSocket(IpProto::kTcp);
+    ASSERT_TRUE(node->Connect(fd, SockAddrIn{w.addr(1), 5001}).ok());
+    std::vector<uint8_t> data(kTotal);
+    for (size_t i = 0; i < kTotal; i++) {
+      data[i] = static_cast<uint8_t>(i % 249);
+    }
+    size_t sent = 0;
+    bool returned = false;
+    while (sent < kTotal) {
+      size_t chunk = std::min<size_t>(4096, kTotal - sent);
+      Result<size_t> n = node->Send(fd, data.data() + sent, chunk, nullptr);
+      ASSERT_TRUE(n.ok()) << ErrName(n.error());
+      sent += *n;
+      if (!returned && sent >= kTotal / 2) {
+        // Mid-stream: hand the session (with unacknowledged data) back to
+        // the OS server, as fork would.
+        ASSERT_TRUE(node->PrepareFork().ok());
+        EXPECT_FALSE(node->IsAppManaged(fd));
+        returned = true;
+      }
+    }
+    node->Close(fd);
+    EXPECT_TRUE(returned);
+  });
+
+  w.sim().Run(Seconds(120));
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(w.net_server(0)->migrations_in(), 1u);
+}
+
+TEST(CooperativeSelect, AllAppManagedNeedsNoServer) {
+  World w(Config::kLibraryShmIpf, MachineProfile::DecStation5000());
+  bool checked = false;
+  w.SpawnApp(0, "app", [&] {
+    LibraryNode* node = w.library_node(0);
+    int fd = *node->CreateSocket(IpProto::kUdp);
+    ASSERT_TRUE(node->Bind(fd, SockAddrIn{Ipv4Addr::Any(), 8000}).ok());
+    uint64_t before = w.net_server(0)->control_port()->messages_sent();
+    SelectFds fds;
+    fds.read.push_back(fd);
+    Result<int> n = node->Select(&fds, Millis(20));  // times out: no data
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(*n, 0);
+    // "In cases where all descriptors are managed by the application, the
+    // operating system is not involved" (§3.2).
+    EXPECT_EQ(w.net_server(0)->control_port()->messages_sent(), before);
+    checked = true;
+  });
+  w.sim().Run(Seconds(5));
+  EXPECT_TRUE(checked);
+}
+
+TEST(CooperativeSelect, MixedSetWakesOnAppManagedReadiness) {
+  World w(Config::kLibraryShmIpf, MachineProfile::DecStation5000());
+  bool checked = false;
+
+  w.SpawnApp(0, "selector", [&] {
+    LibraryNode* node = w.library_node(0);
+    // One app-managed UDP socket and one server-managed TCP listener.
+    int ufd = *node->CreateSocket(IpProto::kUdp);
+    ASSERT_TRUE(node->Bind(ufd, SockAddrIn{Ipv4Addr::Any(), 8000}).ok());
+    int lfd = *node->CreateSocket(IpProto::kTcp);
+    ASSERT_TRUE(node->Bind(lfd, SockAddrIn{Ipv4Addr::Any(), 5001}).ok());
+    ASSERT_TRUE(node->Listen(lfd, 2).ok());
+
+    SelectFds fds;
+    fds.read.push_back(ufd);
+    fds.read.push_back(lfd);
+    SimTime t0 = w.sim().Now();
+    Result<int> n = node->Select(&fds, Seconds(20));
+    ASSERT_TRUE(n.ok());
+    EXPECT_GE(*n, 1);
+    EXPECT_TRUE(fds.read_ready[0]);   // the UDP datagram below
+    EXPECT_FALSE(fds.read_ready[1]);  // nobody connected
+    EXPECT_LT(w.sim().Now() - t0, Seconds(5));  // woke on data, not timeout
+    checked = true;
+  });
+  w.SpawnApp(1, "pinger", [&] {
+    SocketApi* api = w.api(1);
+    int fd = *api->CreateSocket(IpProto::kUdp);
+    w.sim().current_thread()->SleepFor(Millis(200));
+    uint8_t b[4] = {};
+    SockAddrIn dst{w.addr(0), 8000};
+    api->Send(fd, b, sizeof(b), &dst);
+  });
+  w.sim().Run(Seconds(30));
+  EXPECT_TRUE(checked);
+}
+
+TEST(CooperativeSelect, MixedSetWakesOnServerManagedReadiness) {
+  World w(Config::kLibraryShmIpf, MachineProfile::DecStation5000());
+  bool checked = false;
+
+  w.SpawnApp(1, "selector", [&] {
+    LibraryNode* node = w.library_node(1);
+    int ufd = *node->CreateSocket(IpProto::kUdp);
+    ASSERT_TRUE(node->Bind(ufd, SockAddrIn{Ipv4Addr::Any(), 8000}).ok());
+    int lfd = *node->CreateSocket(IpProto::kTcp);
+    ASSERT_TRUE(node->Bind(lfd, SockAddrIn{Ipv4Addr::Any(), 5001}).ok());
+    ASSERT_TRUE(node->Listen(lfd, 2).ok());
+
+    SelectFds fds;
+    fds.read.push_back(ufd);
+    fds.read.push_back(lfd);
+    Result<int> n = node->Select(&fds, Seconds(20));
+    ASSERT_TRUE(n.ok());
+    EXPECT_GE(*n, 1);
+    EXPECT_TRUE(fds.read_ready[1]) << "listener must be acceptable";
+    Result<int> cfd = node->Accept(lfd, nullptr);
+    EXPECT_TRUE(cfd.ok());
+    checked = true;
+  });
+  w.SpawnApp(0, "connector", [&] {
+    SocketApi* api = w.api(0);
+    int fd = *api->CreateSocket(IpProto::kTcp);
+    w.sim().current_thread()->SleepFor(Millis(200));
+    api->Connect(fd, SockAddrIn{w.addr(1), 5001});
+  });
+  w.sim().Run(Seconds(30));
+  EXPECT_TRUE(checked);
+}
+
+TEST(Fork, ChildAndParentShareStreamThroughServer) {
+  World w(Config::kLibraryShmIpf, MachineProfile::DecStation5000());
+  std::unique_ptr<LibraryNode> child_holder;
+  std::string child_got, parent_got;
+
+  w.SpawnApp(1, "server", [&] {
+    LibraryNode* parent = w.library_node(1);
+    int lfd = *parent->CreateSocket(IpProto::kTcp);
+    parent->Bind(lfd, SockAddrIn{Ipv4Addr::Any(), 5001});
+    parent->Listen(lfd, 2);
+    Result<int> cfd = parent->Accept(lfd, nullptr);
+    ASSERT_TRUE(cfd.ok());
+
+    ProtocolLibrary* child_lib = w.AddLibrary(1, "h1/child");
+    Result<std::unique_ptr<LibraryNode>> forked = parent->Fork(child_lib);
+    ASSERT_TRUE(forked.ok());
+    child_holder = std::move(*forked);
+    LibraryNode* child = child_holder.get();
+
+    // Child reads the first message, parent the second: both see the same
+    // descriptor referring to the same stream.
+    w.SpawnApp(1, "child", [&, child, cfd = *cfd] {
+      uint8_t buf[64];
+      Result<size_t> n = child->Recv(cfd, buf, 6, nullptr, false);
+      if (n.ok()) {
+        child_got.assign(buf, buf + *n);
+      }
+      child->Close(cfd);
+    });
+    uint8_t buf[64];
+    w.sim().current_thread()->SleepFor(Millis(300));
+    Result<size_t> n = parent->Recv(*cfd, buf, 6, nullptr, false);
+    if (n.ok()) {
+      parent_got.assign(buf, buf + *n);
+    }
+    parent->Close(*cfd);
+    parent->Close(lfd);
+  });
+  w.SpawnApp(0, "client", [&] {
+    SocketApi* api = w.api(0);
+    w.sim().current_thread()->SleepFor(Millis(10));
+    int fd = *api->CreateSocket(IpProto::kTcp);
+    ASSERT_TRUE(api->Connect(fd, SockAddrIn{w.addr(1), 5001}).ok());
+    w.sim().current_thread()->SleepFor(Millis(200));
+    const char* msg = "first.second";
+    api->Send(fd, reinterpret_cast<const uint8_t*>(msg), 12, nullptr);
+    w.sim().current_thread()->SleepFor(Seconds(2));
+    api->Close(fd);
+  });
+  w.sim().Run(Seconds(30));
+  EXPECT_EQ(child_got, "first.");
+  EXPECT_EQ(parent_got, "second");
+}
+
+}  // namespace
+}  // namespace psd

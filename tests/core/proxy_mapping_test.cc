@@ -1,0 +1,242 @@
+// Table 1 conformance: each socket call maps to the documented proxy
+// behaviour, including the migration points ("UDP sessions migrate to the
+// application [on bind]", "UDP and TCP sessions migrate [on connect]",
+// "Migrate passively opened session ... when connection is established
+// [accept]", "Return session to operating system [fork]").
+#include <gtest/gtest.h>
+
+#include "src/testbed/world.h"
+
+namespace psd {
+namespace {
+
+class ProxyTest : public ::testing::Test {
+ protected:
+  ProxyTest() : w(Config::kLibraryShmIpf, MachineProfile::DecStation5000()) {}
+  World w;
+};
+
+TEST_F(ProxyTest, SocketCreatesServerManagedSession) {
+  bool checked = false;
+  w.SpawnApp(0, "app", [&] {
+    LibraryNode* node = w.library_node(0);
+    int fd = *node->CreateSocket(IpProto::kUdp);
+    // Before bind, the session lives in the OS server.
+    EXPECT_FALSE(node->IsAppManaged(fd));
+    EXPECT_EQ(w.net_server(0)->session_count(), 1u);
+    checked = true;
+  });
+  w.sim().Run(Seconds(5));
+  EXPECT_TRUE(checked);
+}
+
+TEST_F(ProxyTest, BindMigratesUdpSessionToApplication) {
+  bool checked = false;
+  w.SpawnApp(0, "app", [&] {
+    LibraryNode* node = w.library_node(0);
+    int fd = *node->CreateSocket(IpProto::kUdp);
+    ASSERT_TRUE(node->Bind(fd, SockAddrIn{Ipv4Addr::Any(), 8000}).ok());
+    EXPECT_TRUE(node->IsAppManaged(fd));
+    EXPECT_EQ(w.net_server(0)->migrations_out(), 1u);
+    // The local protocol library now owns a UDP pcb for the endpoint.
+    EXPECT_EQ(w.library(0)->stack()->udp().pcbs().size(), 1u);
+    EXPECT_EQ(node->LocalAddr(fd).port, 8000);
+    checked = true;
+  });
+  w.sim().Run(Seconds(5));
+  EXPECT_TRUE(checked);
+}
+
+TEST_F(ProxyTest, BindDoesNotMigrateTcp) {
+  bool checked = false;
+  w.SpawnApp(0, "app", [&] {
+    LibraryNode* node = w.library_node(0);
+    int fd = *node->CreateSocket(IpProto::kTcp);
+    ASSERT_TRUE(node->Bind(fd, SockAddrIn{Ipv4Addr::Any(), 8000}).ok());
+    // TCP stays with the server until the connection is established.
+    EXPECT_FALSE(node->IsAppManaged(fd));
+    EXPECT_EQ(w.net_server(0)->migrations_out(), 0u);
+    checked = true;
+  });
+  w.sim().Run(Seconds(5));
+  EXPECT_TRUE(checked);
+}
+
+TEST_F(ProxyTest, ConnectEstablishesAtServerThenMigrates) {
+  bool checked = false;
+  w.SpawnApp(1, "listener", [&] {
+    SocketApi* api = w.api(1);
+    int lfd = *api->CreateSocket(IpProto::kTcp);
+    api->Bind(lfd, SockAddrIn{Ipv4Addr::Any(), 5001});
+    api->Listen(lfd, 2);
+    api->Accept(lfd, nullptr);
+  });
+  w.SpawnApp(0, "app", [&] {
+    LibraryNode* node = w.library_node(0);
+    w.sim().current_thread()->SleepFor(Millis(10));
+    int fd = *node->CreateSocket(IpProto::kTcp);
+    ASSERT_TRUE(node->Connect(fd, SockAddrIn{w.addr(1), 5001}).ok());
+    EXPECT_TRUE(node->IsAppManaged(fd));
+    // The migrated pcb is ESTABLISHED inside the library stack.
+    ASSERT_EQ(w.library(0)->stack()->tcp().pcbs().size(), 1u);
+    EXPECT_EQ(w.library(0)->stack()->tcp().pcbs()[0]->state, TcpState::kEstablished);
+    // Port namespace lives in the server (library allocator untouched).
+    EXPECT_EQ(w.library(0)->stack()->ports().count(), 0u);
+    checked = true;
+  });
+  w.sim().Run(Seconds(10));
+  EXPECT_TRUE(checked);
+}
+
+TEST_F(ProxyTest, AcceptMigratesChildNotListener) {
+  bool checked = false;
+  w.SpawnApp(1, "listener", [&] {
+    LibraryNode* node = w.library_node(1);
+    int lfd = *node->CreateSocket(IpProto::kTcp);
+    node->Bind(lfd, SockAddrIn{Ipv4Addr::Any(), 5001});
+    node->Listen(lfd, 2);
+    Result<int> cfd = node->Accept(lfd, nullptr);
+    ASSERT_TRUE(cfd.ok());
+    EXPECT_TRUE(node->IsAppManaged(*cfd));
+    EXPECT_FALSE(node->IsAppManaged(lfd));  // listener stays at the server
+    checked = true;
+  });
+  w.SpawnApp(0, "client", [&] {
+    SocketApi* api = w.api(0);
+    w.sim().current_thread()->SleepFor(Millis(10));
+    int fd = *api->CreateSocket(IpProto::kTcp);
+    api->Connect(fd, SockAddrIn{w.addr(1), 5001});
+  });
+  w.sim().Run(Seconds(10));
+  EXPECT_TRUE(checked);
+}
+
+TEST_F(ProxyTest, DataTransferBypassesServerEntirely) {
+  uint64_t control_msgs_before = 0;
+  bool checked = false;
+  w.SpawnApp(1, "echo", [&] {
+    SocketApi* api = w.api(1);
+    int fd = *api->CreateSocket(IpProto::kUdp);
+    api->Bind(fd, SockAddrIn{Ipv4Addr::Any(), 8000});
+    uint8_t buf[64];
+    SockAddrIn from;
+    for (int i = 0; i < 10; i++) {
+      Result<size_t> n = api->Recv(fd, buf, sizeof(buf), &from, false);
+      if (n.ok()) {
+        api->Send(fd, buf, *n, &from);
+      }
+    }
+  });
+  w.SpawnApp(0, "client", [&] {
+    SocketApi* api = w.api(0);
+    int fd = *api->CreateSocket(IpProto::kUdp);
+    ASSERT_TRUE(api->Bind(fd, SockAddrIn{Ipv4Addr::Any(), 0}).ok());
+    w.sim().current_thread()->SleepFor(Millis(10));
+    SockAddrIn dst{w.addr(1), 8000};
+    uint8_t b[32] = {};
+    // One round trip to warm ARP/route caches (these do consult the server).
+    api->Send(fd, b, sizeof(b), &dst);
+    api->Recv(fd, b, sizeof(b), nullptr, false);
+    control_msgs_before = w.net_server(0)->control_port()->messages_sent();
+    for (int i = 0; i < 9; i++) {
+      api->Send(fd, b, sizeof(b), &dst);
+      api->Recv(fd, b, sizeof(b), nullptr, false);
+    }
+    // "Transfer data to or from the network. The operating system is not
+    // involved" (Table 1): zero control messages during data transfer.
+    EXPECT_EQ(w.net_server(0)->control_port()->messages_sent(), control_msgs_before);
+    checked = true;
+  });
+  w.sim().Run(Seconds(10));
+  EXPECT_TRUE(checked);
+}
+
+TEST_F(ProxyTest, CloseReturnsSessionAndServerRunsShutdown) {
+  bool closed = false;
+  w.SpawnApp(1, "listener", [&] {
+    SocketApi* api = w.api(1);
+    int lfd = *api->CreateSocket(IpProto::kTcp);
+    api->Bind(lfd, SockAddrIn{Ipv4Addr::Any(), 5001});
+    api->Listen(lfd, 2);
+    Result<int> cfd = api->Accept(lfd, nullptr);
+    if (cfd.ok()) {
+      uint8_t buf[16];
+      api->Recv(*cfd, buf, sizeof(buf), nullptr, false);  // until EOF
+      api->Close(*cfd);
+    }
+  });
+  w.SpawnApp(0, "client", [&] {
+    LibraryNode* node = w.library_node(0);
+    w.sim().current_thread()->SleepFor(Millis(10));
+    int fd = *node->CreateSocket(IpProto::kTcp);
+    ASSERT_TRUE(node->Connect(fd, SockAddrIn{w.addr(1), 5001}).ok());
+    ASSERT_TRUE(node->Close(fd).ok());
+    closed = true;
+  });
+  w.sim().Run(Seconds(10));
+  EXPECT_TRUE(closed);
+  // The session returned to the server for the shutdown handshake; its
+  // library stack no longer holds the pcb.
+  EXPECT_EQ(w.net_server(0)->migrations_in(), 1u);
+  EXPECT_TRUE(w.library(0)->stack()->tcp().pcbs().empty());
+  // Give the FIN handshake time to finish at the server side.
+  w.sim().Run(w.sim().Now() + Seconds(5));
+  uint64_t established = w.net_server(0)->stack()->tcp().stats().conns_established;
+  (void)established;  // adopted sessions do not re-establish; just sanity:
+  EXPECT_EQ(w.library(0)->stack()->tcp().stats().rsts_sent, 0u);
+}
+
+TEST_F(ProxyTest, CrashCleanupRemovesFiltersAndSessions) {
+  w.SpawnApp(1, "listener", [&] {
+    SocketApi* api = w.api(1);
+    int lfd = *api->CreateSocket(IpProto::kTcp);
+    api->Bind(lfd, SockAddrIn{Ipv4Addr::Any(), 5001});
+    api->Listen(lfd, 2);
+    api->Accept(lfd, nullptr);
+  });
+  w.SpawnApp(0, "doomed", [&] {
+    LibraryNode* node = w.library_node(0);
+    w.sim().current_thread()->SleepFor(Millis(10));
+    int fd = *node->CreateSocket(IpProto::kTcp);
+    ASSERT_TRUE(node->Connect(fd, SockAddrIn{w.addr(1), 5001}).ok());
+    // ... and the process dies without closing anything.
+  });
+  w.sim().RunFor(Seconds(2));
+  ASSERT_EQ(w.net_server(0)->session_count(), 1u);
+  w.library(0)->SimulateCrash();
+  w.sim().RunFor(Seconds(2));
+  // "The operating system ... can detect the death of processes ... abort
+  // outstanding connections by sending reset messages" (3.2).
+  EXPECT_EQ(w.net_server(0)->session_count(), 0u);
+  EXPECT_GE(w.net_server(0)->stack()->tcp().stats().rsts_sent, 1u);
+}
+
+TEST_F(ProxyTest, MetastateInvalidationReachesCaches) {
+  bool checked = false;
+  w.SpawnApp(0, "app", [&] {
+    SocketApi* api = w.api(0);
+    int fd = *api->CreateSocket(IpProto::kUdp);
+    SockAddrIn dst{w.addr(1), 9000};
+    uint8_t b[4] = {};
+    api->Send(fd, b, sizeof(b), &dst);  // populates route + ARP caches
+    EXPECT_EQ(w.library(0)->arp_cache_misses(), 1u);
+    // Simulate the peer's MAC changing (host replaced): the server fires
+    // invalidation callbacks into every registered cache (3.3) and the
+    // next send re-fetches.
+    {
+      DomainLock lock(w.net_server(0)->stack()->sync());
+      w.net_server(0)->stack()->arp()->AddStatic(w.addr(1), MacAddr::FromHostId(99));
+    }
+    w.sim().current_thread()->SleepFor(Millis(10));
+    EXPECT_GE(w.net_server(0)->arp_callbacks_sent(), 1u);
+    EXPECT_GE(w.library(0)->invalidations(), 1u);
+    api->Send(fd, b, sizeof(b), &dst);
+    EXPECT_EQ(w.library(0)->arp_cache_misses(), 2u) << "cache must refill after invalidation";
+    checked = true;
+  });
+  w.sim().Run(Seconds(5));
+  EXPECT_TRUE(checked);
+}
+
+}  // namespace
+}  // namespace psd

@@ -1,0 +1,153 @@
+// End-to-end integration across all protocol placements: TCP connect/
+// transfer/close and UDP datagram exchange between two hosts, in every
+// system configuration from Table 2.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/testbed/world.h"
+
+namespace psd {
+namespace {
+
+class PlacementTest : public ::testing::TestWithParam<Config> {};
+
+TEST_P(PlacementTest, UdpEcho) {
+  World w(GetParam(), MachineProfile::DecStation5000());
+  bool server_done = false;
+  bool client_done = false;
+
+  w.SpawnApp(1, "udp-server", [&] {
+    SocketApi* api = w.api(1);
+    int fd = *api->CreateSocket(IpProto::kUdp);
+    ASSERT_TRUE(api->Bind(fd, SockAddrIn{Ipv4Addr::Any(), 7000}).ok());
+    uint8_t buf[2048];
+    SockAddrIn from;
+    Result<size_t> n = api->Recv(fd, buf, sizeof(buf), &from, false);
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(*n, 11u);
+    EXPECT_EQ(from.addr, w.addr(0));
+    Result<size_t> s = api->Send(fd, buf, *n, &from);
+    ASSERT_TRUE(s.ok());
+    api->Close(fd);
+    server_done = true;
+  });
+
+  w.SpawnApp(0, "udp-client", [&] {
+    SocketApi* api = w.api(0);
+    int fd = *api->CreateSocket(IpProto::kUdp);
+    SockAddrIn dst{w.addr(1), 7000};
+    // Give the server a head start to bind.
+    w.sim().current_thread()->SleepFor(Millis(10));
+    const char* msg = "hello world";
+    Result<size_t> s = api->Send(fd, reinterpret_cast<const uint8_t*>(msg), 11, &dst);
+    ASSERT_TRUE(s.ok()) << ErrName(s.error());
+    uint8_t buf[64];
+    Result<size_t> n = api->Recv(fd, buf, sizeof(buf), nullptr, false);
+    ASSERT_TRUE(n.ok()) << ErrName(n.error());
+    EXPECT_EQ(*n, 11u);
+    EXPECT_EQ(std::string(reinterpret_cast<char*>(buf), *n), "hello world");
+    api->Close(fd);
+    client_done = true;
+  });
+
+  w.sim().Run(Seconds(30));
+  EXPECT_TRUE(server_done);
+  EXPECT_TRUE(client_done);
+}
+
+TEST_P(PlacementTest, TcpConnectTransferClose) {
+  World w(GetParam(), MachineProfile::DecStation5000());
+  constexpr size_t kTotal = 200 * 1024;
+  bool server_done = false;
+  bool client_done = false;
+
+  w.SpawnApp(1, "tcp-server", [&] {
+    SocketApi* api = w.api(1);
+    int lfd = *api->CreateSocket(IpProto::kTcp);
+    ASSERT_TRUE(api->Bind(lfd, SockAddrIn{Ipv4Addr::Any(), 5001}).ok());
+    ASSERT_TRUE(api->Listen(lfd, 5).ok());
+    SockAddrIn peer;
+    Result<int> cfd = api->Accept(lfd, &peer);
+    ASSERT_TRUE(cfd.ok()) << ErrName(cfd.error());
+    EXPECT_EQ(peer.addr, w.addr(0));
+
+    // Drain the byte stream; verify content (i mod 251) and count.
+    size_t got = 0;
+    uint64_t checksum = 0;
+    uint8_t buf[4096];
+    for (;;) {
+      Result<size_t> n = api->Recv(*cfd, buf, sizeof(buf), nullptr, false);
+      ASSERT_TRUE(n.ok()) << ErrName(n.error());
+      if (*n == 0) {
+        break;  // EOF
+      }
+      for (size_t i = 0; i < *n; i++) {
+        EXPECT_EQ(buf[i], static_cast<uint8_t>((got + i) % 251));
+        checksum += buf[i];
+      }
+      got += *n;
+    }
+    EXPECT_EQ(got, kTotal);
+    api->Close(*cfd);
+    api->Close(lfd);
+    server_done = true;
+  });
+
+  w.SpawnApp(0, "tcp-client", [&] {
+    SocketApi* api = w.api(0);
+    int fd = *api->CreateSocket(IpProto::kTcp);
+    w.sim().current_thread()->SleepFor(Millis(10));
+    Result<void> c = api->Connect(fd, SockAddrIn{w.addr(1), 5001});
+    ASSERT_TRUE(c.ok()) << ErrName(c.error());
+    std::vector<uint8_t> data(kTotal);
+    for (size_t i = 0; i < data.size(); i++) {
+      data[i] = static_cast<uint8_t>(i % 251);
+    }
+    size_t sent = 0;
+    while (sent < data.size()) {
+      Result<size_t> n = api->Send(fd, data.data() + sent, data.size() - sent, nullptr);
+      ASSERT_TRUE(n.ok()) << ErrName(n.error());
+      sent += *n;
+    }
+    api->Close(fd);
+    client_done = true;
+  });
+
+  w.sim().Run(Seconds(120));
+  EXPECT_TRUE(server_done);
+  EXPECT_TRUE(client_done);
+}
+
+TEST_P(PlacementTest, TcpConnectRefused) {
+  World w(GetParam(), MachineProfile::DecStation5000());
+  bool done = false;
+  w.SpawnApp(0, "client", [&] {
+    SocketApi* api = w.api(0);
+    int fd = *api->CreateSocket(IpProto::kTcp);
+    Result<void> c = api->Connect(fd, SockAddrIn{w.addr(1), 4242});
+    ASSERT_FALSE(c.ok());
+    EXPECT_EQ(c.error(), Err::kConnRefused) << ErrName(c.error());
+    api->Close(fd);
+    done = true;
+  });
+  w.sim().Run(Seconds(30));
+  EXPECT_TRUE(done);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPlacements, PlacementTest,
+                         ::testing::Values(Config::kInKernel, Config::kServer,
+                                           Config::kLibraryIpc, Config::kLibraryShm,
+                                           Config::kLibraryShmIpf),
+                         [](const ::testing::TestParamInfo<Config>& info) {
+                           std::string n = ConfigName(info.param);
+                           for (char& c : n) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace psd

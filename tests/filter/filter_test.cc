@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "src/base/bytes.h"
+#include "src/filter/session_filter.h"
+#include "src/netsim/ether.h"
+
+namespace psd {
+namespace {
+
+// Builds an Ethernet+IPv4 frame skeleton with transport ports.
+std::vector<uint8_t> MakeFrame(IpProto proto, Ipv4Addr src, Ipv4Addr dst, uint16_t sport,
+                               uint16_t dport, uint16_t frag_field = 0) {
+  std::vector<uint8_t> f(60, 0);
+  Store16(f.data() + 12, kEtherTypeIpv4);
+  f[14] = 0x45;
+  Store16(f.data() + 20, frag_field);
+  f[23] = static_cast<uint8_t>(proto);
+  Store32(f.data() + 26, src.v);
+  Store32(f.data() + 30, dst.v);
+  Store16(f.data() + 34, sport);
+  Store16(f.data() + 36, dport);
+  return f;
+}
+
+const Ipv4Addr kLocal = Ipv4Addr::FromOctets(10, 0, 0, 2);
+const Ipv4Addr kRemote = Ipv4Addr::FromOctets(10, 0, 0, 1);
+const Ipv4Addr kOther = Ipv4Addr::FromOctets(10, 0, 0, 9);
+
+TEST(SessionFilter, MatchesBoundUdp) {
+  SessionTuple t{IpProto::kUdp, {kLocal, 7000}, {}};
+  FilterProgram prog = CompileSessionFilter(t);
+  ASSERT_TRUE(prog.Validate());
+
+  auto hit = MakeFrame(IpProto::kUdp, kRemote, kLocal, 1234, 7000);
+  EXPECT_TRUE(RunFilter(prog, hit.data(), hit.size()).accepted);
+
+  auto wrong_port = MakeFrame(IpProto::kUdp, kRemote, kLocal, 1234, 7001);
+  EXPECT_FALSE(RunFilter(prog, wrong_port.data(), wrong_port.size()).accepted);
+
+  auto wrong_ip = MakeFrame(IpProto::kUdp, kRemote, kOther, 1234, 7000);
+  EXPECT_FALSE(RunFilter(prog, wrong_ip.data(), wrong_ip.size()).accepted);
+
+  auto wrong_proto = MakeFrame(IpProto::kTcp, kRemote, kLocal, 1234, 7000);
+  EXPECT_FALSE(RunFilter(prog, wrong_proto.data(), wrong_proto.size()).accepted);
+}
+
+TEST(SessionFilter, ConnectedTupleIsExact) {
+  SessionTuple t{IpProto::kTcp, {kLocal, 5001}, {kRemote, 1024}};
+  FilterProgram prog = CompileSessionFilter(t);
+  ASSERT_TRUE(prog.Validate());
+
+  auto hit = MakeFrame(IpProto::kTcp, kRemote, kLocal, 1024, 5001);
+  EXPECT_TRUE(RunFilter(prog, hit.data(), hit.size()).accepted);
+
+  auto wrong_peer = MakeFrame(IpProto::kTcp, kOther, kLocal, 1024, 5001);
+  EXPECT_FALSE(RunFilter(prog, wrong_peer.data(), wrong_peer.size()).accepted);
+
+  auto wrong_sport = MakeFrame(IpProto::kTcp, kRemote, kLocal, 1025, 5001);
+  EXPECT_FALSE(RunFilter(prog, wrong_sport.data(), wrong_sport.size()).accepted);
+}
+
+TEST(SessionFilter, ContinuationFragmentsAccepted) {
+  SessionTuple t{IpProto::kUdp, {kLocal, 7000}, {}};
+  FilterProgram prog = CompileSessionFilter(t, /*accept_fragments=*/true);
+  // A continuation fragment has offset != 0 and no transport header.
+  auto frag = MakeFrame(IpProto::kUdp, kRemote, kLocal, 0, 0, /*frag_field=*/0x0005);
+  EXPECT_TRUE(RunFilter(prog, frag.data(), frag.size()).accepted);
+
+  FilterProgram strict = CompileSessionFilter(t, /*accept_fragments=*/false);
+  EXPECT_FALSE(RunFilter(strict, frag.data(), frag.size()).accepted);
+}
+
+TEST(SessionFilter, RejectsArp) {
+  SessionTuple t{IpProto::kUdp, {kLocal, 7000}, {}};
+  FilterProgram prog = CompileSessionFilter(t);
+  std::vector<uint8_t> arp(60, 0);
+  Store16(arp.data() + 12, kEtherTypeArp);
+  EXPECT_FALSE(RunFilter(prog, arp.data(), arp.size()).accepted);
+}
+
+TEST(CatchAll, AcceptsIpAndArp) {
+  FilterProgram prog = CompileCatchAllFilter();
+  ASSERT_TRUE(prog.Validate());
+  auto ip = MakeFrame(IpProto::kUdp, kRemote, kLocal, 1, 2);
+  EXPECT_TRUE(RunFilter(prog, ip.data(), ip.size()).accepted);
+  std::vector<uint8_t> arp(60, 0);
+  Store16(arp.data() + 12, kEtherTypeArp);
+  EXPECT_TRUE(RunFilter(prog, arp.data(), arp.size()).accepted);
+  std::vector<uint8_t> other(60, 0);
+  Store16(other.data() + 12, 0x86dd);  // IPv6: not ours
+  EXPECT_FALSE(RunFilter(prog, other.data(), other.size()).accepted);
+}
+
+TEST(FilterVm, OutOfRangeLoadRejects) {
+  FilterProgram p;
+  p.LdW(100);  // beyond a 60-byte packet
+  p.Accept();
+  std::vector<uint8_t> pkt(60, 0);
+  EXPECT_FALSE(RunFilter(p, pkt.data(), pkt.size()).accepted);
+}
+
+TEST(FilterVm, ValidationRejectsBadJumps) {
+  FilterProgram p;
+  p.LdB(0);
+  p.JEqK(1, 200, 200);  // jumps far out of range
+  p.Accept();
+  EXPECT_FALSE(p.Validate());
+
+  FilterProgram q;
+  q.LdB(0);  // last insn is not a return
+  EXPECT_FALSE(q.Validate());
+
+  FilterProgram empty;
+  EXPECT_FALSE(empty.Validate());
+}
+
+TEST(FilterVm, ArithmeticAndJgt) {
+  // Accept when (pkt[0] & 0x0f) > 3.
+  FilterProgram p;
+  p.LdB(0);
+  p.AndK(0x0f);
+  p.JGtK(3, 0, 1);
+  p.Accept();
+  p.Reject();
+  ASSERT_TRUE(p.Validate());
+  uint8_t big[1] = {0x3f};  // & 0x0f = 15 > 3
+  EXPECT_TRUE(RunFilter(p, big, 1).accepted);
+  uint8_t small[1] = {0x02};
+  EXPECT_FALSE(RunFilter(p, small, 1).accepted);
+}
+
+TEST(FilterEngine, PriorityAndFirstMatch) {
+  FilterEngine engine;
+  SessionTuple t{IpProto::kUdp, {kLocal, 7000}, {}};
+  uint64_t session = engine.Install(CompileSessionFilter(t), /*priority=*/10);
+  uint64_t catchall = engine.Install(CompileCatchAllFilter(), /*priority=*/0);
+  ASSERT_NE(session, 0u);
+  ASSERT_NE(catchall, 0u);
+
+  auto hit = MakeFrame(IpProto::kUdp, kRemote, kLocal, 1, 7000);
+  EXPECT_EQ(engine.Match(hit.data(), hit.size()).id, session);
+
+  auto miss = MakeFrame(IpProto::kUdp, kRemote, kLocal, 1, 9);
+  EXPECT_EQ(engine.Match(miss.data(), miss.size()).id, catchall);
+
+  engine.Remove(session);
+  EXPECT_EQ(engine.Match(hit.data(), hit.size()).id, catchall);
+}
+
+TEST(FilterEngine, NoMatchReturnsZero) {
+  FilterEngine engine;
+  auto pkt = MakeFrame(IpProto::kUdp, kRemote, kLocal, 1, 2);
+  EXPECT_EQ(engine.Match(pkt.data(), pkt.size()).id, 0u);
+}
+
+TEST(FilterProgram, DisassembleIsNonEmpty) {
+  SessionTuple t{IpProto::kTcp, {kLocal, 80}, {kRemote, 1024}};
+  FilterProgram prog = CompileSessionFilter(t);
+  EXPECT_NE(prog.Disassemble().find("jeq"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psd

@@ -1,0 +1,241 @@
+// IP fragmentation/reassembly, UDP semantics (boundaries, checksums,
+// truncation, ICMP port-unreachable), and ARP behaviour.
+#include <gtest/gtest.h>
+
+#include "src/testbed/world.h"
+
+namespace psd {
+namespace {
+
+class InetTest : public ::testing::Test {
+ protected:
+  InetTest() : w(Config::kInKernel, MachineProfile::DecStation5000()) {}
+  World w;
+};
+
+TEST_F(InetTest, UdpDatagramLargerThanMtuFragmentsAndReassembles) {
+  constexpr size_t kSize = 8000;  // > 5 fragments at 1480 bytes each
+  bool ok = false;
+  w.SpawnApp(1, "rx", [&] {
+    SocketApi* api = w.api(1);
+    int fd = *api->CreateSocket(IpProto::kUdp);
+    api->SetOpt(fd, SockOpt::kRcvBuf, 64 * 1024);
+    api->Bind(fd, SockAddrIn{Ipv4Addr::Any(), 7000});
+    std::vector<uint8_t> buf(kSize);
+    Result<size_t> n = api->Recv(fd, buf.data(), buf.size(), nullptr, false);
+    if (n.ok() && *n == 1) {
+      n = api->Recv(fd, buf.data(), buf.size(), nullptr, false);  // skip ARP warm-up probe
+    }
+    if (n.ok() && *n == kSize) {
+      ok = true;
+      for (size_t i = 0; i < kSize; i++) {
+        if (buf[i] != static_cast<uint8_t>(i % 251)) {
+          ok = false;
+          break;
+        }
+      }
+    }
+  });
+  w.SpawnApp(0, "tx", [&] {
+    SocketApi* api = w.api(0);
+    int fd = *api->CreateSocket(IpProto::kUdp);
+    api->SetOpt(fd, SockOpt::kSndBuf, 64 * 1024);
+    w.sim().current_thread()->SleepFor(Millis(10));
+    SockAddrIn dst{w.addr(1), 7000};
+    // Warm ARP first: a cold multi-fragment burst would overflow the ARP
+    // hold queue (BSD holds few packets per unresolved entry) and UDP does
+    // not retransmit lost fragments.
+    uint8_t probe[1] = {0xff};
+    api->Send(fd, probe, 1, &dst);
+    w.sim().current_thread()->SleepFor(Millis(20));
+    std::vector<uint8_t> data(kSize);
+    for (size_t i = 0; i < kSize; i++) {
+      data[i] = static_cast<uint8_t>(i % 251);
+    }
+    api->Send(fd, data.data(), data.size(), &dst);
+  });
+  w.sim().Run(Seconds(10));
+  EXPECT_TRUE(ok);
+  EXPECT_GT(w.kernel_node(0)->stack()->ip().stats().fragments_sent, 4u);
+  EXPECT_EQ(w.kernel_node(1)->stack()->ip().stats().reassembled, 1u);
+}
+
+TEST_F(InetTest, LostFragmentTimesOutReassembly) {
+  bool got = false;
+  w.SpawnApp(1, "rx", [&] {
+    SocketApi* api = w.api(1);
+    int fd = *api->CreateSocket(IpProto::kUdp);
+    api->SetOpt(fd, SockOpt::kRcvBuf, 64 * 1024);
+    api->Bind(fd, SockAddrIn{Ipv4Addr::Any(), 7000});
+    std::vector<uint8_t> buf(8000);
+    Result<size_t> n = api->Recv(fd, buf.data(), buf.size(), nullptr, false);
+    if (n.ok() && *n == 1) {
+      // That was the ARP warm-up probe; the fragmented datagram never
+      // completes, so this second receive must block forever.
+      n = api->Recv(fd, buf.data(), buf.size(), nullptr, false);
+    }
+    got = n.ok() && *n > 1;
+  });
+  w.SpawnApp(0, "tx", [&] {
+    SocketApi* api = w.api(0);
+    int fd = *api->CreateSocket(IpProto::kUdp);
+    api->SetOpt(fd, SockOpt::kSndBuf, 64 * 1024);
+    w.sim().current_thread()->SleepFor(Millis(10));
+    SockAddrIn dst{w.addr(1), 7000};
+    uint8_t probe[1] = {0xff};
+    api->Send(fd, probe, 1, &dst);  // warm ARP (see above)
+    w.sim().current_thread()->SleepFor(Millis(20));
+    // Lose exactly the fragments of this datagram with certainty: the
+    // fault plan starts only now, after ARP and the probe went through.
+    FaultPlan faults;
+    faults.loss_rate = 0.5;
+    faults.seed = 4;
+    w.wire().SetFaults(faults);
+    std::vector<uint8_t> data(7000, 0x3c);
+    api->Send(fd, data.data(), data.size(), &dst);
+  });
+  // The datagram cannot reassemble (UDP does not retransmit); the partial
+  // state must be garbage-collected by the reassembly timeout.
+  w.sim().Run(Seconds(60));
+  const IpStats& stats = w.kernel_node(1)->stack()->ip().stats();
+  EXPECT_EQ(stats.reassembled, 0u);
+  EXPECT_EQ(stats.reassembly_timeouts, 1u);
+  EXPECT_FALSE(got);
+}
+
+TEST_F(InetTest, UdpPreservesMessageBoundaries) {
+  std::vector<size_t> sizes;
+  w.SpawnApp(1, "rx", [&] {
+    SocketApi* api = w.api(1);
+    int fd = *api->CreateSocket(IpProto::kUdp);
+    api->Bind(fd, SockAddrIn{Ipv4Addr::Any(), 7000});
+    uint8_t buf[512];
+    for (int i = 0; i < 3; i++) {
+      Result<size_t> n = api->Recv(fd, buf, sizeof(buf), nullptr, false);
+      if (n.ok()) {
+        sizes.push_back(*n);
+      }
+    }
+  });
+  w.SpawnApp(0, "tx", [&] {
+    SocketApi* api = w.api(0);
+    int fd = *api->CreateSocket(IpProto::kUdp);
+    w.sim().current_thread()->SleepFor(Millis(10));
+    SockAddrIn dst{w.addr(1), 7000};
+    uint8_t buf[300] = {};
+    api->Send(fd, buf, 10, &dst);
+    api->Send(fd, buf, 300, &dst);
+    api->Send(fd, buf, 1, &dst);
+  });
+  w.sim().Run(Seconds(10));
+  EXPECT_EQ(sizes, (std::vector<size_t>{10, 300, 1}));
+}
+
+TEST_F(InetTest, UdpTruncatesOversizedDatagramOnRecv) {
+  size_t got = 0;
+  w.SpawnApp(1, "rx", [&] {
+    SocketApi* api = w.api(1);
+    int fd = *api->CreateSocket(IpProto::kUdp);
+    api->Bind(fd, SockAddrIn{Ipv4Addr::Any(), 7000});
+    uint8_t small[16];
+    Result<size_t> n = api->Recv(fd, small, sizeof(small), nullptr, false);
+    got = n.ok() ? *n : 0;
+  });
+  w.SpawnApp(0, "tx", [&] {
+    SocketApi* api = w.api(0);
+    int fd = *api->CreateSocket(IpProto::kUdp);
+    w.sim().current_thread()->SleepFor(Millis(10));
+    uint8_t big[200] = {};
+    SockAddrIn dst{w.addr(1), 7000};
+    api->Send(fd, big, sizeof(big), &dst);
+  });
+  w.sim().Run(Seconds(10));
+  EXPECT_EQ(got, 16u);  // BSD: excess datagram bytes are discarded
+}
+
+TEST_F(InetTest, UdpOversizedSendReturnsMsgSize) {
+  Err err = Err::kOk;
+  w.SpawnApp(0, "tx", [&] {
+    SocketApi* api = w.api(0);
+    int fd = *api->CreateSocket(IpProto::kUdp);
+    std::vector<uint8_t> huge(kUdpSendSpace + 1);
+    SockAddrIn dst{w.addr(1), 7000};
+    Result<size_t> r = api->Send(fd, huge.data(), huge.size(), &dst);
+    err = r.error();
+  });
+  w.sim().Run(Seconds(5));
+  EXPECT_EQ(err, Err::kMsgSize);
+}
+
+TEST_F(InetTest, IcmpPortUnreachableBecomesConnRefused) {
+  Err err = Err::kOk;
+  w.SpawnApp(0, "tx", [&] {
+    SocketApi* api = w.api(0);
+    int fd = *api->CreateSocket(IpProto::kUdp);
+    // Connected UDP socket to a port nobody listens on.
+    api->Connect(fd, SockAddrIn{w.addr(1), 4444});
+    uint8_t b[4] = {};
+    api->Send(fd, b, sizeof(b), nullptr);
+    w.sim().current_thread()->SleepFor(Millis(50));
+    // BSD reports the asynchronous error on the next operation.
+    Result<size_t> r = api->Send(fd, b, sizeof(b), nullptr);
+    if (!r.ok()) {
+      err = r.error();
+    }
+  });
+  w.sim().Run(Seconds(10));
+  EXPECT_EQ(err, Err::kConnRefused);
+  EXPECT_GE(w.kernel_node(1)->stack()->icmp().unreachables_sent(), 1u);
+}
+
+TEST_F(InetTest, ArpResolvesOnceThenCaches) {
+  w.SpawnApp(1, "rx", [&] {
+    SocketApi* api = w.api(1);
+    int fd = *api->CreateSocket(IpProto::kUdp);
+    api->Bind(fd, SockAddrIn{Ipv4Addr::Any(), 7000});
+    uint8_t buf[32];
+    for (int i = 0; i < 5; i++) {
+      api->Recv(fd, buf, sizeof(buf), nullptr, false);
+    }
+  });
+  w.SpawnApp(0, "tx", [&] {
+    SocketApi* api = w.api(0);
+    int fd = *api->CreateSocket(IpProto::kUdp);
+    w.sim().current_thread()->SleepFor(Millis(10));
+    SockAddrIn dst{w.addr(1), 7000};
+    uint8_t b[8] = {};
+    for (int i = 0; i < 5; i++) {
+      api->Send(fd, b, sizeof(b), &dst);
+    }
+  });
+  w.sim().Run(Seconds(10));
+  // One request resolves the peer; later sends hit the cache.
+  EXPECT_EQ(w.kernel_node(0)->stack()->arp()->requests_sent(), 1u);
+  EXPECT_GE(w.kernel_node(1)->stack()->arp()->replies_sent(), 1u);
+}
+
+TEST_F(InetTest, ArpGivesUpOnNonexistentHost) {
+  Err err = Err::kOk;
+  w.SpawnApp(0, "tx", [&] {
+    SocketApi* api = w.api(0);
+    int fd = *api->CreateSocket(IpProto::kUdp);
+    SockAddrIn ghost{Ipv4Addr::FromOctets(10, 0, 0, 200), 7000};
+    uint8_t b[4] = {};
+    // First send queues behind the unresolvable ARP entry; packets are
+    // silently dropped when resolution fails (BSD behaviour). Saturating
+    // the hold queue surfaces EHOSTUNREACH.
+    for (int i = 0; i < 8 && err == Err::kOk; i++) {
+      Result<size_t> r = api->Send(fd, b, sizeof(b), &ghost);
+      if (!r.ok()) {
+        err = r.error();
+      }
+      w.sim().current_thread()->SleepFor(Millis(100));
+    }
+  });
+  w.sim().Run(Seconds(30));
+  EXPECT_EQ(err, Err::kHostUnreach);
+  EXPECT_GT(w.kernel_node(0)->stack()->arp()->requests_sent(), 1u);  // retried
+}
+
+}  // namespace
+}  // namespace psd

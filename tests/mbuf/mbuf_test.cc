@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/mbuf/mbuf.h"
+
+namespace psd {
+namespace {
+
+std::vector<uint8_t> Pattern(size_t n, uint8_t seed = 0) {
+  std::vector<uint8_t> v(n);
+  for (size_t i = 0; i < n; i++) {
+    v[i] = static_cast<uint8_t>(seed + i * 7);
+  }
+  return v;
+}
+
+TEST(Mbuf, AppendAndReadBack) {
+  std::vector<uint8_t> data = Pattern(5000);
+  Chain c;
+  c.Append(data.data(), data.size());
+  EXPECT_EQ(c.len(), 5000u);
+  EXPECT_TRUE(c.Invariant());
+  EXPECT_EQ(c.ToVector(), data);
+}
+
+TEST(Mbuf, SmallDataUsesInlineMbuf) {
+  Chain c = Chain::FromBytes(Pattern(10).data(), 10);
+  EXPECT_EQ(c.SegmentCount(), 1);
+  EXPECT_FALSE(c.head()->is_cluster());
+}
+
+TEST(Mbuf, LargeDataUsesClusters) {
+  std::vector<uint8_t> data = Pattern(kClusterBytes * 2 + 17);
+  Chain c = Chain::FromBytes(data.data(), data.size());
+  EXPECT_TRUE(c.head()->is_cluster());
+  EXPECT_EQ(c.ToVector(), data);
+}
+
+TEST(Mbuf, PrependHeaders) {
+  std::vector<uint8_t> payload = Pattern(100);
+  Chain c = Chain::FromBytes(payload.data(), payload.size());
+  uint8_t* tcp = c.Prepend(20);
+  std::fill(tcp, tcp + 20, 0xAA);
+  uint8_t* ip = c.Prepend(20);
+  std::fill(ip, ip + 20, 0xBB);
+  uint8_t* eth = c.Prepend(14);
+  std::fill(eth, eth + 14, 0xCC);
+  EXPECT_EQ(c.len(), 154u);
+  std::vector<uint8_t> out = c.ToVector();
+  EXPECT_EQ(out[0], 0xCC);
+  EXPECT_EQ(out[14], 0xBB);
+  EXPECT_EQ(out[34], 0xAA);
+  EXPECT_EQ(std::vector<uint8_t>(out.begin() + 54, out.end()), payload);
+}
+
+TEST(Mbuf, TrimFrontBack) {
+  std::vector<uint8_t> data = Pattern(3000);
+  Chain c = Chain::FromBytes(data.data(), data.size());
+  c.TrimFront(100);
+  c.TrimBack(200);
+  EXPECT_EQ(c.len(), 2700u);
+  EXPECT_EQ(c.ToVector(),
+            std::vector<uint8_t>(data.begin() + 100, data.end() - 200));
+}
+
+TEST(Mbuf, TrimToEmpty) {
+  Chain c = Chain::FromBytes(Pattern(50).data(), 50);
+  c.TrimFront(50);
+  EXPECT_TRUE(c.empty());
+  EXPECT_TRUE(c.Invariant());
+  c.Append(Pattern(5).data(), 5);
+  EXPECT_EQ(c.len(), 5u);
+}
+
+TEST(Mbuf, CopyRangeSharesClusters) {
+  std::vector<uint8_t> data = Pattern(4000);
+  Chain c = Chain::FromBytes(data.data(), data.size());
+  Chain copy = c.CopyRange(100, 3000);
+  EXPECT_EQ(copy.len(), 3000u);
+  EXPECT_EQ(copy.ToVector(),
+            std::vector<uint8_t>(data.begin() + 100, data.begin() + 3100));
+  // Cluster storage is shared, not duplicated.
+  EXPECT_TRUE(copy.head()->shared() || !copy.head()->is_cluster());
+}
+
+TEST(Mbuf, SplitFront) {
+  std::vector<uint8_t> data = Pattern(1000);
+  Chain c = Chain::FromBytes(data.data(), data.size());
+  Chain front = c.SplitFront(300);
+  EXPECT_EQ(front.len(), 300u);
+  EXPECT_EQ(c.len(), 700u);
+  EXPECT_EQ(front.ToVector(), std::vector<uint8_t>(data.begin(), data.begin() + 300));
+  EXPECT_EQ(c.ToVector(), std::vector<uint8_t>(data.begin() + 300, data.end()));
+}
+
+TEST(Mbuf, PullupMakesContiguous) {
+  Chain c;
+  c.Append(Pattern(10, 1).data(), 10);
+  Chain c2;
+  c2.Append(Pattern(10, 2).data(), 10);
+  c.AppendChain(std::move(c2));
+  ASSERT_GE(c.SegmentCount(), 1);
+  const uint8_t* p = c.Pullup(15);
+  ASSERT_NE(p, nullptr);
+  std::vector<uint8_t> expect = Pattern(10, 1);
+  std::vector<uint8_t> second = Pattern(10, 2);
+  expect.insert(expect.end(), second.begin(), second.begin() + 5);
+  EXPECT_EQ(std::vector<uint8_t>(p, p + 15), expect);
+  EXPECT_EQ(c.len(), 20u);
+}
+
+TEST(Mbuf, PullupBeyondLengthFails) {
+  Chain c = Chain::FromBytes(Pattern(10).data(), 10);
+  EXPECT_EQ(c.Pullup(11), nullptr);
+}
+
+TEST(Mbuf, ReferencingSharedBuffer) {
+  auto owner = std::make_shared<std::vector<uint8_t>>(Pattern(500));
+  Chain c = Chain::Referencing(owner, 100, 300);
+  EXPECT_EQ(c.len(), 300u);
+  EXPECT_EQ(c.ToVector(),
+            std::vector<uint8_t>(owner->begin() + 100, owner->begin() + 400));
+  // Prepending to a read-only reference allocates a fresh header mbuf.
+  uint8_t* h = c.Prepend(8);
+  std::fill(h, h + 8, 0x99);
+  EXPECT_EQ(c.len(), 308u);
+  EXPECT_EQ(c.ToVector()[0], 0x99);
+  EXPECT_EQ(c.ToVector()[8], (*owner)[100]);
+}
+
+TEST(Mbuf, ReferencingRaw) {
+  std::vector<uint8_t> data = Pattern(64);
+  Chain c = Chain::ReferencingRaw(data.data(), data.size());
+  EXPECT_EQ(c.ToVector(), data);
+}
+
+TEST(Mbuf, ChecksumOverChainMatchesFlat) {
+  Rng rng(7);
+  for (int t = 0; t < 20; t++) {
+    size_t n = 1 + rng.Below(5000);
+    std::vector<uint8_t> data(n);
+    for (auto& b : data) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    // Build the chain from random-sized pieces.
+    Chain c;
+    size_t at = 0;
+    while (at < n) {
+      size_t take = std::min(n - at, 1 + rng.Below(700));
+      c.Append(data.data() + at, take);
+      at += take;
+    }
+    ChecksumAccumulator acc;
+    c.Checksum(0, n, &acc);
+    EXPECT_EQ(acc.Finish(), InternetChecksum(data.data(), n));
+  }
+}
+
+// Property test: a random sequence of operations preserves equivalence with
+// a flat byte-vector model.
+TEST(MbufProperty, RandomOpsMatchModel) {
+  Rng rng(0xfeed);
+  for (int trial = 0; trial < 30; trial++) {
+    Chain c;
+    std::vector<uint8_t> model;
+    for (int op = 0; op < 60; op++) {
+      switch (rng.Below(4)) {
+        case 0: {  // append
+          std::vector<uint8_t> piece(1 + rng.Below(400));
+          for (auto& b : piece) {
+            b = static_cast<uint8_t>(rng.Next());
+          }
+          c.Append(piece.data(), piece.size());
+          model.insert(model.end(), piece.begin(), piece.end());
+          break;
+        }
+        case 1: {  // trim front
+          size_t n = rng.Below(model.size() + 1);
+          c.TrimFront(n);
+          model.erase(model.begin(), model.begin() + n);
+          break;
+        }
+        case 2: {  // trim back
+          size_t n = rng.Below(model.size() + 1);
+          c.TrimBack(n);
+          model.resize(model.size() - n);
+          break;
+        }
+        case 3: {  // copy range (must not disturb the original)
+          if (model.empty()) {
+            break;
+          }
+          size_t off = rng.Below(model.size());
+          size_t n = rng.Below(model.size() - off + 1);
+          Chain copy = c.CopyRange(off, n);
+          EXPECT_EQ(copy.ToVector(),
+                    std::vector<uint8_t>(model.begin() + off, model.begin() + off + n));
+          break;
+        }
+      }
+      ASSERT_TRUE(c.Invariant());
+      ASSERT_EQ(c.len(), model.size());
+    }
+    EXPECT_EQ(c.ToVector(), model);
+  }
+}
+
+}  // namespace
+}  // namespace psd

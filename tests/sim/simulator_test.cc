@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/probe.h"
+#include "src/sim/simulator.h"
+
+namespace psd {
+namespace {
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(Micros(30), [&] { order.push_back(3); });
+  sim.Schedule(Micros(10), [&] { order.push_back(1); });
+  sim.Schedule(Micros(20), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), Micros(30));
+}
+
+TEST(Simulator, EqualTimesRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; i++) {
+    sim.Schedule(Micros(5), [&, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  bool ran = false;
+  sim.Schedule(Seconds(5), [&] { ran = true; });
+  sim.Run(Seconds(1));
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.Now(), Seconds(1));
+  sim.Run(Seconds(10));
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimThread, ChargeAdvancesVirtualTime) {
+  Simulator sim;
+  HostCpu cpu;
+  SimTime after = 0;
+  sim.Spawn("t", &cpu, [&] {
+    sim.current_thread()->Charge(Micros(100));
+    after = sim.Now();
+  });
+  sim.Run();
+  EXPECT_EQ(after, Micros(100));
+  EXPECT_EQ(cpu.busy(), Micros(100));
+}
+
+TEST(SimThread, CpuSerializesConcurrentCharges) {
+  // Two threads each burn 100us on one CPU: total virtual time 200us.
+  Simulator sim;
+  HostCpu cpu;
+  SimTime t1 = 0, t2 = 0;
+  sim.Spawn("a", &cpu, [&] {
+    sim.current_thread()->Charge(Micros(100));
+    t1 = sim.Now();
+  });
+  sim.Spawn("b", &cpu, [&] {
+    sim.current_thread()->Charge(Micros(100));
+    t2 = sim.Now();
+  });
+  sim.Run();
+  EXPECT_EQ(std::max(t1, t2), Micros(200));
+}
+
+TEST(SimThread, SeparateCpusRunInParallel) {
+  Simulator sim;
+  HostCpu cpu_a, cpu_b;
+  SimTime t1 = 0, t2 = 0;
+  sim.Spawn("a", &cpu_a, [&] {
+    sim.current_thread()->Charge(Micros(100));
+    t1 = sim.Now();
+  });
+  sim.Spawn("b", &cpu_b, [&] {
+    sim.current_thread()->Charge(Micros(100));
+    t2 = sim.Now();
+  });
+  sim.Run();
+  EXPECT_EQ(t1, Micros(100));
+  EXPECT_EQ(t2, Micros(100));
+}
+
+TEST(SimThread, WaitAndNotify) {
+  Simulator sim;
+  HostCpu cpu;
+  WaitQueue q(&sim);
+  SimTime woken_at = 0;
+  sim.Spawn("waiter", &cpu, [&] {
+    sim.current_thread()->WaitOn(&q);
+    woken_at = sim.Now();
+  });
+  sim.Spawn("waker", &cpu, [&] {
+    sim.current_thread()->SleepFor(Millis(3));
+    q.NotifyOne();
+  });
+  sim.Run();
+  EXPECT_EQ(woken_at, Millis(3));
+}
+
+TEST(SimThread, WaitTimeout) {
+  Simulator sim;
+  HostCpu cpu;
+  WaitQueue q(&sim);
+  bool notified = true;
+  sim.Spawn("waiter", &cpu, [&] {
+    notified = sim.current_thread()->WaitOn(&q, sim.Now() + Millis(5));
+  });
+  sim.Run();
+  EXPECT_FALSE(notified);
+  EXPECT_EQ(sim.Now(), Millis(5));
+}
+
+TEST(SimThread, NotifyBeatsTimeout) {
+  Simulator sim;
+  HostCpu cpu;
+  WaitQueue q(&sim);
+  bool notified = false;
+  SimTime woke_at = 0;
+  sim.Spawn("waiter", &cpu, [&] {
+    notified = sim.current_thread()->WaitOn(&q, sim.Now() + Millis(50));
+    woke_at = sim.Now();
+  });
+  sim.Schedule(Millis(1), [&] { q.NotifyOne(); });
+  sim.Run();
+  EXPECT_TRUE(notified);
+  EXPECT_EQ(woke_at, Millis(1));
+}
+
+TEST(SimMutex, MutualExclusion) {
+  Simulator sim;
+  HostCpu cpu;
+  SimMutex mu(&sim);
+  int in_critical = 0;
+  int max_in_critical = 0;
+  for (int i = 0; i < 3; i++) {
+    sim.Spawn("t" + std::to_string(i), &cpu, [&] {
+      mu.Lock();
+      in_critical++;
+      max_in_critical = std::max(max_in_critical, in_critical);
+      sim.current_thread()->Charge(Micros(50));  // yields while holding
+      in_critical--;
+      mu.Unlock();
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(max_in_critical, 1);
+}
+
+TEST(SimCondition, WaitReleasesMutex) {
+  Simulator sim;
+  HostCpu cpu;
+  SimMutex mu(&sim);
+  SimCondition cv(&sim);
+  bool consumed = false;
+  sim.Spawn("consumer", &cpu, [&] {
+    mu.Lock();
+    cv.Wait(&mu);
+    consumed = true;
+    mu.Unlock();
+  });
+  sim.Spawn("producer", &cpu, [&] {
+    sim.current_thread()->SleepFor(Millis(1));
+    mu.Lock();  // succeeds because the consumer's Wait released it
+    cv.NotifyOne();
+    mu.Unlock();
+  });
+  sim.Run();
+  EXPECT_TRUE(consumed);
+}
+
+TEST(Simulator, KillThreadUnwinds) {
+  Simulator sim;
+  HostCpu cpu;
+  WaitQueue q(&sim);
+  bool finished_normally = false;
+  SimThread* t = sim.Spawn("stuck", &cpu, [&] {
+    sim.current_thread()->WaitOn(&q);
+    finished_normally = true;  // unreached: the wait never completes
+  });
+  sim.Run();
+  EXPECT_FALSE(t->finished());
+  sim.KillThread(t);
+  EXPECT_TRUE(t->finished());
+  EXPECT_FALSE(finished_normally);
+  EXPECT_TRUE(q.empty()) << "killed thread must not linger in wait queues";
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  auto run = [] {
+    Simulator sim;
+    HostCpu a, b;
+    uint64_t trace = 0;
+    WaitQueue q(&sim);
+    sim.Spawn("x", &a, [&] {
+      for (int i = 0; i < 10; i++) {
+        sim.current_thread()->Charge(Micros(7));
+        trace = trace * 31 + static_cast<uint64_t>(sim.Now());
+        q.NotifyOne();
+      }
+    });
+    sim.Spawn("y", &b, [&] {
+      for (int i = 0; i < 5; i++) {
+        sim.current_thread()->WaitOn(&q, sim.Now() + Micros(13));
+        trace = trace * 37 + static_cast<uint64_t>(sim.Now());
+      }
+    });
+    sim.Run();
+    return trace;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Probe, NestedSpansExcludeChildren) {
+  Simulator sim;
+  HostCpu cpu;
+  StageRecorder rec;
+  sim.Spawn("t", &cpu, [&] {
+    ProbeSpan outer(&rec, &sim, Stage::kEntryCopyin);
+    sim.current_thread()->Charge(Micros(10));
+    {
+      ProbeSpan inner(&rec, &sim, Stage::kProtoOutput);
+      sim.current_thread()->Charge(Micros(25));
+    }
+    sim.current_thread()->Charge(Micros(5));
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(rec.cell(Stage::kEntryCopyin).MeanMicros(), 15.0);
+  EXPECT_DOUBLE_EQ(rec.cell(Stage::kProtoOutput).MeanMicros(), 25.0);
+}
+
+TEST(Probe, ConditionalSpanNotRecordedUnlessCommitted) {
+  Simulator sim;
+  HostCpu cpu;
+  StageRecorder rec;
+  sim.Spawn("t", &cpu, [&] {
+    {
+      ProbeSpan s(&rec, &sim, Stage::kProtoOutput);
+      s.MarkConditional();
+      sim.current_thread()->Charge(Micros(10));
+    }
+    {
+      ProbeSpan s(&rec, &sim, Stage::kProtoOutput);
+      s.MarkConditional();
+      sim.current_thread()->Charge(Micros(20));
+      s.Commit();
+    }
+  });
+  sim.Run();
+  EXPECT_EQ(rec.cell(Stage::kProtoOutput).count, 1u);
+  EXPECT_DOUBLE_EQ(rec.cell(Stage::kProtoOutput).MeanMicros(), 20.0);
+}
+
+}  // namespace
+}  // namespace psd

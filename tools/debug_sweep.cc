@@ -1,0 +1,19 @@
+#include <cstdio>
+#include <cstdlib>
+#include "bench/common/workloads.h"
+using namespace psd;
+int main(int argc, char** argv) {
+  Config cfg = argc > 1 ? static_cast<Config>(atoi(argv[1])) : Config::kServer;
+  size_t mb = argc > 2 ? atoi(argv[2]) : 2;
+  MachineProfile prof = MachineProfile::DecStation5000();
+  for (size_t kb : {8, 16, 24, 32, 48, 64}) {
+    TtcpOptions opt;
+    opt.total_bytes = mb * 1024 * 1024;
+    opt.rcvbuf = kb * 1024;
+    opt.sndbuf = std::max<size_t>(opt.rcvbuf, 24 * 1024);
+    TtcpResult r = RunTtcp(cfg, prof, opt);
+    printf("%s rcvbuf=%zuKB -> %.0f KB/s (rexmt=%lu pkts=%lu wakeups=%lu)\n",
+           ConfigName(cfg), kb, r.kb_per_sec, r.retransmits, r.packets, r.wakeups);
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+#include <cstdio>
+#include "src/base/log.h"
+#include "src/testbed/world.h"
+using namespace psd;
+
+static void DumpTcp(const char* who, const TcpStats& st) {
+  printf("%s: sent=%lu rcvd=%lu data=%lu bytes_tx=%lu bytes_rx=%lu rexmt=%lu dup=%lu ooo=%lu nopcb=%lu rst=%lu est=%lu drop=%lu\n",
+         who, st.segs_sent, st.segs_received, st.data_segs_sent, st.bytes_sent,
+         st.bytes_received, st.retransmits, st.dup_acks, st.out_of_order,
+         st.dropped_no_pcb, st.rsts_sent, st.conns_established, st.conns_dropped);
+}
+
+int main(int argc, char** argv) {
+  Config cfg = argc > 1 ? static_cast<Config>(atoi(argv[1])) : Config::kInKernel;
+  constexpr size_t kTotal = 200 * 1024;
+  World w(cfg, MachineProfile::DecStation5000());
+  w.SpawnApp(1, "srv", [&] {
+    SocketApi* api = w.api(1);
+    int lfd = *api->CreateSocket(IpProto::kTcp);
+    api->Bind(lfd, SockAddrIn{Ipv4Addr::Any(), 5001});
+    api->Listen(lfd, 5);
+    auto cfd = api->Accept(lfd, nullptr);
+    printf("[%.3fms] accept ok=%d\n", ToMillis(w.sim().Now()), (int)cfd.ok());
+    if (!cfd.ok()) return;
+    size_t got = 0; uint8_t buf[4096];
+    for (;;) {
+      auto n = api->Recv(*cfd, buf, sizeof(buf), nullptr, false);
+      if (!n.ok()) { printf("recv err %s\n", ErrName(n.error())); break; }
+      if (*n == 0) break;
+      got += *n;
+    }
+    printf("[%.3fms] server got=%zu\n", ToMillis(w.sim().Now()), got);
+    api->Close(*cfd); api->Close(lfd);
+  });
+  w.SpawnApp(0, "cli", [&] {
+    SocketApi* api = w.api(0);
+    int fd = *api->CreateSocket(IpProto::kTcp);
+    w.sim().current_thread()->SleepFor(Millis(10));
+    auto c = api->Connect(fd, SockAddrIn{w.addr(1), 5001});
+    printf("[%.3fms] connect ok=%d %s\n", ToMillis(w.sim().Now()), (int)c.ok(), c.ok()?"":ErrName(c.error()));
+    if (!c.ok()) return;
+    std::vector<uint8_t> data(kTotal, 0x5a);
+    size_t sent = 0;
+    while (sent < data.size()) {
+      auto n = api->Send(fd, data.data() + sent, data.size() - sent, nullptr);
+      if (!n.ok()) { printf("send err %s\n", ErrName(n.error())); break; }
+      sent += *n;
+    }
+    printf("[%.3fms] client sent=%zu\n", ToMillis(w.sim().Now()), sent);
+    api->Close(fd);
+  });
+  w.sim().Run(Seconds(120));
+  printf("end %.3fms events=%lu\n", ToMillis(w.sim().Now()), w.sim().events_executed());
+  if (cfg == Config::kInKernel) {
+    DumpTcp("h0", w.kernel_node(0)->stack()->tcp().stats());
+    DumpTcp("h1", w.kernel_node(1)->stack()->tcp().stats());
+  }
+  return 0;
+}

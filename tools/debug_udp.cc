@@ -1,0 +1,46 @@
+#include <cstdio>
+#include "src/base/log.h"
+#include "src/testbed/world.h"
+using namespace psd;
+int main() {
+  SetMinLogLevel(LogLevel::kTrace);
+  World w(Config::kLibraryIpc, MachineProfile::DecStation5000());
+  w.SpawnApp(1, "udp-server", [&] {
+    SocketApi* api = w.api(1);
+    auto fdr = api->CreateSocket(IpProto::kUdp);
+    printf("[%ld] server socket ok=%d\n", w.sim().Now(), (int)fdr.ok());
+    int fd = *fdr;
+    auto b = api->Bind(fd, SockAddrIn{Ipv4Addr::Any(), 7000});
+    printf("[%ld] server bind ok=%d\n", w.sim().Now(), (int)b.ok());
+    uint8_t buf[2048]; SockAddrIn from;
+    auto n = api->Recv(fd, buf, sizeof(buf), &from, false);
+    printf("[%ld] server recv ok=%d n=%zu\n", w.sim().Now(), (int)n.ok(), n.ok()?*n:0);
+    if (n.ok()) api->Send(fd, buf, *n, &from);
+    printf("[%ld] server sent reply\n", w.sim().Now());
+  });
+  w.SpawnApp(0, "udp-client", [&] {
+    SocketApi* api = w.api(0);
+    int fd = *api->CreateSocket(IpProto::kUdp);
+    SockAddrIn dst{w.addr(1), 7000};
+    w.sim().current_thread()->SleepFor(Millis(10));
+    const char* msg = "hello world";
+    auto s = api->Send(fd, (const uint8_t*)msg, 11, &dst);
+    printf("[%ld] client send ok=%d %s\n", w.sim().Now(), (int)s.ok(), s.ok()?"":ErrName(s.error()));
+    uint8_t buf[64];
+    auto n = api->Recv(fd, buf, sizeof(buf), nullptr, false);
+    printf("[%ld] client recv ok=%d n=%zu\n", w.sim().Now(), (int)n.ok(), n.ok()?*n:0);
+  });
+  w.sim().Run(Seconds(30));
+  printf("end at %ld events=%lu\n", w.sim().Now(), w.sim().events_executed());
+  printf("h0 nic tx=%lu rx=%lu; h1 nic tx=%lu rx=%lu\n",
+    w.host(0)->nic()->tx_frames(), w.host(0)->nic()->rx_frames(),
+    w.host(1)->nic()->tx_frames(), w.host(1)->nic()->rx_frames());
+  printf("h0 kern delivered=%lu unmatched=%lu; h1 delivered=%lu unmatched=%lu\n",
+    w.host(0)->kernel()->rx_delivered(), w.host(0)->kernel()->rx_unmatched(),
+    w.host(1)->kernel()->rx_delivered(), w.host(1)->kernel()->rx_unmatched());
+  auto& u0 = w.library(0)->stack()->udp().stats();
+  auto& u1 = w.library(1)->stack()->udp().stats();
+  printf("lib0 udp sent=%lu rcvd=%lu; lib1 sent=%lu rcvd=%lu noport=%lu\n",
+    u0.sent, u0.received, u1.sent, u1.received, u1.no_port);
+  return 0;
+}
