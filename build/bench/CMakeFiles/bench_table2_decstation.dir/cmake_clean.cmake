@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_decstation.dir/bench_table2_decstation.cc.o"
+  "CMakeFiles/bench_table2_decstation.dir/bench_table2_decstation.cc.o.d"
+  "bench_table2_decstation"
+  "bench_table2_decstation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_decstation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_gateway.dir/bench_table2_gateway.cc.o"
+  "CMakeFiles/bench_table2_gateway.dir/bench_table2_gateway.cc.o.d"
+  "bench_table2_gateway"
+  "bench_table2_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_newapi.dir/bench_table3_newapi.cc.o"
+  "CMakeFiles/bench_table3_newapi.dir/bench_table3_newapi.cc.o.d"
+  "bench_table3_newapi"
+  "bench_table3_newapi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_newapi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

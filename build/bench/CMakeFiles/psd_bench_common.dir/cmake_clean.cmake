@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psd_bench_common.dir/common/workloads.cc.o"
+  "CMakeFiles/psd_bench_common.dir/common/workloads.cc.o.d"
+  "libpsd_bench_common.a"
+  "libpsd_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psd_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chat_select.dir/chat_select.cpp.o"
+  "CMakeFiles/chat_select.dir/chat_select.cpp.o.d"
+  "chat_select"
+  "chat_select.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chat_select.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

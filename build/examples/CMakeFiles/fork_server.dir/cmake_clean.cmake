@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fork_server.dir/fork_server.cpp.o"
+  "CMakeFiles/fork_server.dir/fork_server.cpp.o.d"
+  "fork_server"
+  "fork_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fork_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("sim")
+subdirs("cost")
+subdirs("netsim")
+subdirs("mbuf")
+subdirs("filter")
+subdirs("ipc")
+subdirs("kern")
+subdirs("inet")
+subdirs("sock")
+subdirs("serv")
+subdirs("core")
+subdirs("api")
+subdirs("testbed")

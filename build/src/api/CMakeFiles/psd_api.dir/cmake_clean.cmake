@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psd_api.dir/kernel_node.cc.o"
+  "CMakeFiles/psd_api.dir/kernel_node.cc.o.d"
+  "libpsd_api.a"
+  "libpsd_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psd_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

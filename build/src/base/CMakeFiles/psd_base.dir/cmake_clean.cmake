@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psd_base.dir/checksum.cc.o"
+  "CMakeFiles/psd_base.dir/checksum.cc.o.d"
+  "CMakeFiles/psd_base.dir/log.cc.o"
+  "CMakeFiles/psd_base.dir/log.cc.o.d"
+  "libpsd_base.a"
+  "libpsd_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psd_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psd_core.dir/library_node.cc.o"
+  "CMakeFiles/psd_core.dir/library_node.cc.o.d"
+  "CMakeFiles/psd_core.dir/net_server.cc.o"
+  "CMakeFiles/psd_core.dir/net_server.cc.o.d"
+  "libpsd_core.a"
+  "libpsd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

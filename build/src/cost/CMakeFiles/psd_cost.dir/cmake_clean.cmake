@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psd_cost.dir/machine_profile.cc.o"
+  "CMakeFiles/psd_cost.dir/machine_profile.cc.o.d"
+  "libpsd_cost.a"
+  "libpsd_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psd_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

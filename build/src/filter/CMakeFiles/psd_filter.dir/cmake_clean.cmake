@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psd_filter.dir/filter.cc.o"
+  "CMakeFiles/psd_filter.dir/filter.cc.o.d"
+  "CMakeFiles/psd_filter.dir/session_filter.cc.o"
+  "CMakeFiles/psd_filter.dir/session_filter.cc.o.d"
+  "libpsd_filter.a"
+  "libpsd_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psd_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

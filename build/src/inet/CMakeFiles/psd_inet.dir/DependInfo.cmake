@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/inet/arp.cc" "src/inet/CMakeFiles/psd_inet.dir/arp.cc.o" "gcc" "src/inet/CMakeFiles/psd_inet.dir/arp.cc.o.d"
+  "/root/repo/src/inet/ether_layer.cc" "src/inet/CMakeFiles/psd_inet.dir/ether_layer.cc.o" "gcc" "src/inet/CMakeFiles/psd_inet.dir/ether_layer.cc.o.d"
+  "/root/repo/src/inet/icmp.cc" "src/inet/CMakeFiles/psd_inet.dir/icmp.cc.o" "gcc" "src/inet/CMakeFiles/psd_inet.dir/icmp.cc.o.d"
+  "/root/repo/src/inet/ip.cc" "src/inet/CMakeFiles/psd_inet.dir/ip.cc.o" "gcc" "src/inet/CMakeFiles/psd_inet.dir/ip.cc.o.d"
+  "/root/repo/src/inet/stack.cc" "src/inet/CMakeFiles/psd_inet.dir/stack.cc.o" "gcc" "src/inet/CMakeFiles/psd_inet.dir/stack.cc.o.d"
+  "/root/repo/src/inet/tcp_input.cc" "src/inet/CMakeFiles/psd_inet.dir/tcp_input.cc.o" "gcc" "src/inet/CMakeFiles/psd_inet.dir/tcp_input.cc.o.d"
+  "/root/repo/src/inet/tcp_output.cc" "src/inet/CMakeFiles/psd_inet.dir/tcp_output.cc.o" "gcc" "src/inet/CMakeFiles/psd_inet.dir/tcp_output.cc.o.d"
+  "/root/repo/src/inet/tcp_subr.cc" "src/inet/CMakeFiles/psd_inet.dir/tcp_subr.cc.o" "gcc" "src/inet/CMakeFiles/psd_inet.dir/tcp_subr.cc.o.d"
+  "/root/repo/src/inet/tcp_timer.cc" "src/inet/CMakeFiles/psd_inet.dir/tcp_timer.cc.o" "gcc" "src/inet/CMakeFiles/psd_inet.dir/tcp_timer.cc.o.d"
+  "/root/repo/src/inet/udp.cc" "src/inet/CMakeFiles/psd_inet.dir/udp.cc.o" "gcc" "src/inet/CMakeFiles/psd_inet.dir/udp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mbuf/CMakeFiles/psd_mbuf.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/psd_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/psd_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/psd_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psd_inet.dir/arp.cc.o"
+  "CMakeFiles/psd_inet.dir/arp.cc.o.d"
+  "CMakeFiles/psd_inet.dir/ether_layer.cc.o"
+  "CMakeFiles/psd_inet.dir/ether_layer.cc.o.d"
+  "CMakeFiles/psd_inet.dir/icmp.cc.o"
+  "CMakeFiles/psd_inet.dir/icmp.cc.o.d"
+  "CMakeFiles/psd_inet.dir/ip.cc.o"
+  "CMakeFiles/psd_inet.dir/ip.cc.o.d"
+  "CMakeFiles/psd_inet.dir/stack.cc.o"
+  "CMakeFiles/psd_inet.dir/stack.cc.o.d"
+  "CMakeFiles/psd_inet.dir/tcp_input.cc.o"
+  "CMakeFiles/psd_inet.dir/tcp_input.cc.o.d"
+  "CMakeFiles/psd_inet.dir/tcp_output.cc.o"
+  "CMakeFiles/psd_inet.dir/tcp_output.cc.o.d"
+  "CMakeFiles/psd_inet.dir/tcp_subr.cc.o"
+  "CMakeFiles/psd_inet.dir/tcp_subr.cc.o.d"
+  "CMakeFiles/psd_inet.dir/tcp_timer.cc.o"
+  "CMakeFiles/psd_inet.dir/tcp_timer.cc.o.d"
+  "CMakeFiles/psd_inet.dir/udp.cc.o"
+  "CMakeFiles/psd_inet.dir/udp.cc.o.d"
+  "libpsd_inet.a"
+  "libpsd_inet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psd_inet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

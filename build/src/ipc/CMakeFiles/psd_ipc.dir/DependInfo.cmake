@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ipc/port.cc" "src/ipc/CMakeFiles/psd_ipc.dir/port.cc.o" "gcc" "src/ipc/CMakeFiles/psd_ipc.dir/port.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/psd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/psd_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/psd_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psd_ipc.dir/port.cc.o"
+  "CMakeFiles/psd_ipc.dir/port.cc.o.d"
+  "libpsd_ipc.a"
+  "libpsd_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psd_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

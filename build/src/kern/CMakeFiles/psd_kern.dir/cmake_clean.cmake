@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psd_kern.dir/kernel.cc.o"
+  "CMakeFiles/psd_kern.dir/kernel.cc.o.d"
+  "libpsd_kern.a"
+  "libpsd_kern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psd_kern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psd_mbuf.dir/mbuf.cc.o"
+  "CMakeFiles/psd_mbuf.dir/mbuf.cc.o.d"
+  "libpsd_mbuf.a"
+  "libpsd_mbuf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psd_mbuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

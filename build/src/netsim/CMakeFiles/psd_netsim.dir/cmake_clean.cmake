@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psd_netsim.dir/netsim.cc.o"
+  "CMakeFiles/psd_netsim.dir/netsim.cc.o.d"
+  "libpsd_netsim.a"
+  "libpsd_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psd_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psd_serv.dir/ux_server.cc.o"
+  "CMakeFiles/psd_serv.dir/ux_server.cc.o.d"
+  "libpsd_serv.a"
+  "libpsd_serv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psd_serv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

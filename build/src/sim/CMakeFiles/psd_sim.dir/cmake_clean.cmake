@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psd_sim.dir/probe.cc.o"
+  "CMakeFiles/psd_sim.dir/probe.cc.o.d"
+  "CMakeFiles/psd_sim.dir/simulator.cc.o"
+  "CMakeFiles/psd_sim.dir/simulator.cc.o.d"
+  "libpsd_sim.a"
+  "libpsd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpsd_sim.a"
+)

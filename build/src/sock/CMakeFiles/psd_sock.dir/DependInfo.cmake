@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sock/select.cc" "src/sock/CMakeFiles/psd_sock.dir/select.cc.o" "gcc" "src/sock/CMakeFiles/psd_sock.dir/select.cc.o.d"
+  "/root/repo/src/sock/socket.cc" "src/sock/CMakeFiles/psd_sock.dir/socket.cc.o" "gcc" "src/sock/CMakeFiles/psd_sock.dir/socket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/inet/CMakeFiles/psd_inet.dir/DependInfo.cmake"
+  "/root/repo/build/src/mbuf/CMakeFiles/psd_mbuf.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/psd_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/psd_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/psd_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psd_sock.dir/select.cc.o"
+  "CMakeFiles/psd_sock.dir/select.cc.o.d"
+  "CMakeFiles/psd_sock.dir/socket.cc.o"
+  "CMakeFiles/psd_sock.dir/socket.cc.o.d"
+  "libpsd_sock.a"
+  "libpsd_sock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psd_sock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

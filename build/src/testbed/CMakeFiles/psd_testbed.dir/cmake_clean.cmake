@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psd_testbed.dir/world.cc.o"
+  "CMakeFiles/psd_testbed.dir/world.cc.o.d"
+  "libpsd_testbed.a"
+  "libpsd_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psd_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

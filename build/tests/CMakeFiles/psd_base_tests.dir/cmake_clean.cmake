@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psd_base_tests.dir/base/checksum_test.cc.o"
+  "CMakeFiles/psd_base_tests.dir/base/checksum_test.cc.o.d"
+  "psd_base_tests"
+  "psd_base_tests.pdb"
+  "psd_base_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psd_base_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

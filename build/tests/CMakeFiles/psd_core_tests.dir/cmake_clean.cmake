@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psd_core_tests.dir/core/migration_select_test.cc.o"
+  "CMakeFiles/psd_core_tests.dir/core/migration_select_test.cc.o.d"
+  "CMakeFiles/psd_core_tests.dir/core/proxy_mapping_test.cc.o"
+  "CMakeFiles/psd_core_tests.dir/core/proxy_mapping_test.cc.o.d"
+  "psd_core_tests"
+  "psd_core_tests.pdb"
+  "psd_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psd_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

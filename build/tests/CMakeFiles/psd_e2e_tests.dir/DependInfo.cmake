@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/e2e/placements_test.cc" "tests/CMakeFiles/psd_e2e_tests.dir/e2e/placements_test.cc.o" "gcc" "tests/CMakeFiles/psd_e2e_tests.dir/e2e/placements_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/testbed/CMakeFiles/psd_testbed.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/psd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/serv/CMakeFiles/psd_serv.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/psd_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/sock/CMakeFiles/psd_sock.dir/DependInfo.cmake"
+  "/root/repo/build/src/inet/CMakeFiles/psd_inet.dir/DependInfo.cmake"
+  "/root/repo/build/src/kern/CMakeFiles/psd_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipc/CMakeFiles/psd_ipc.dir/DependInfo.cmake"
+  "/root/repo/build/src/filter/CMakeFiles/psd_filter.dir/DependInfo.cmake"
+  "/root/repo/build/src/mbuf/CMakeFiles/psd_mbuf.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/psd_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/psd_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/psd_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psd_e2e_tests.dir/e2e/placements_test.cc.o"
+  "CMakeFiles/psd_e2e_tests.dir/e2e/placements_test.cc.o.d"
+  "psd_e2e_tests"
+  "psd_e2e_tests.pdb"
+  "psd_e2e_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psd_e2e_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psd_filter_tests.dir/filter/filter_test.cc.o"
+  "CMakeFiles/psd_filter_tests.dir/filter/filter_test.cc.o.d"
+  "psd_filter_tests"
+  "psd_filter_tests.pdb"
+  "psd_filter_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psd_filter_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

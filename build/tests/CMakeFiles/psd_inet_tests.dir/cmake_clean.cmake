@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psd_inet_tests.dir/inet/ip_udp_test.cc.o"
+  "CMakeFiles/psd_inet_tests.dir/inet/ip_udp_test.cc.o.d"
+  "CMakeFiles/psd_inet_tests.dir/inet/tcp_robustness_test.cc.o"
+  "CMakeFiles/psd_inet_tests.dir/inet/tcp_robustness_test.cc.o.d"
+  "CMakeFiles/psd_inet_tests.dir/inet/tcp_state_test.cc.o"
+  "CMakeFiles/psd_inet_tests.dir/inet/tcp_state_test.cc.o.d"
+  "psd_inet_tests"
+  "psd_inet_tests.pdb"
+  "psd_inet_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psd_inet_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psd_ipc_tests.dir/ipc/port_test.cc.o"
+  "CMakeFiles/psd_ipc_tests.dir/ipc/port_test.cc.o.d"
+  "psd_ipc_tests"
+  "psd_ipc_tests.pdb"
+  "psd_ipc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psd_ipc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psd_kern_tests.dir/kern/kernel_test.cc.o"
+  "CMakeFiles/psd_kern_tests.dir/kern/kernel_test.cc.o.d"
+  "psd_kern_tests"
+  "psd_kern_tests.pdb"
+  "psd_kern_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psd_kern_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

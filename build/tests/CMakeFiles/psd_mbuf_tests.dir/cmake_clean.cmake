@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psd_mbuf_tests.dir/mbuf/mbuf_test.cc.o"
+  "CMakeFiles/psd_mbuf_tests.dir/mbuf/mbuf_test.cc.o.d"
+  "psd_mbuf_tests"
+  "psd_mbuf_tests.pdb"
+  "psd_mbuf_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psd_mbuf_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

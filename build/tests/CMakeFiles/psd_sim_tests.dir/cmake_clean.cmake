@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psd_sim_tests.dir/sim/simulator_test.cc.o"
+  "CMakeFiles/psd_sim_tests.dir/sim/simulator_test.cc.o.d"
+  "psd_sim_tests"
+  "psd_sim_tests.pdb"
+  "psd_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psd_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psd_sock_tests.dir/sock/socket_semantics_test.cc.o"
+  "CMakeFiles/psd_sock_tests.dir/sock/socket_semantics_test.cc.o.d"
+  "psd_sock_tests"
+  "psd_sock_tests.pdb"
+  "psd_sock_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psd_sock_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

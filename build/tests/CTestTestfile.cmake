@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/psd_base_tests[1]_include.cmake")
+include("/root/repo/build/tests/psd_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/psd_mbuf_tests[1]_include.cmake")
+include("/root/repo/build/tests/psd_filter_tests[1]_include.cmake")
+include("/root/repo/build/tests/psd_ipc_tests[1]_include.cmake")
+include("/root/repo/build/tests/psd_kern_tests[1]_include.cmake")
+include("/root/repo/build/tests/psd_inet_tests[1]_include.cmake")
+include("/root/repo/build/tests/psd_sock_tests[1]_include.cmake")
+include("/root/repo/build/tests/psd_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/psd_e2e_tests[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_sweep.dir/debug_sweep.cc.o"
+  "CMakeFiles/debug_sweep.dir/debug_sweep.cc.o.d"
+  "debug_sweep"
+  "debug_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_tcp.dir/debug_tcp.cc.o"
+  "CMakeFiles/debug_tcp.dir/debug_tcp.cc.o.d"
+  "debug_tcp"
+  "debug_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_udp.dir/debug_udp.cc.o"
+  "CMakeFiles/debug_udp.dir/debug_udp.cc.o.d"
+  "debug_udp"
+  "debug_udp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_udp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
