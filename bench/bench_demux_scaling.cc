@@ -1,0 +1,164 @@
+// Receive-demux scaling: cost of classifying one arriving frame as the
+// number of installed sessions grows, linear prioritized VM scan vs the
+// indexed flow-table fast path (ISSUE 1; PathFinder/DPF lineage).
+//
+// For each session count the worst-case frame (matching the last-installed
+// session) is classified by two engines holding identical filter sets: one
+// where filters were installed program-only ("linear") and one where the
+// session compiler's FlowSpec was installed alongside ("indexed"). Reported
+// per packet:
+//  * virtual demux nanoseconds, composed from the DECstation profile
+//    exactly as the simulated kernel charges it (filter_fixed +
+//    insns * filter_per_insn + classifications * demux_classify), and
+//  * real wall-clock nanoseconds of FilterEngine::Match itself — the
+//    simulator, too, gets faster at high session counts.
+//
+// Emits BENCH_demux.json (machine-readable, in the working directory) next
+// to the printed table; exits nonzero if the scaling targets regress.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/base/bytes.h"
+#include "src/cost/machine_profile.h"
+#include "src/filter/session_filter.h"
+#include "src/netsim/ether.h"
+
+namespace psd {
+namespace {
+
+struct Row {
+  int sessions = 0;
+  const char* mode = "";
+  double virtual_ns = 0;   // charged demux cost per packet
+  double wall_ns = 0;      // real Match() time per packet
+  int programs_run = 0;
+  int insns = 0;
+  int classify_ops = 0;
+};
+
+SessionTuple TupleFor(int i) {
+  return SessionTuple{IpProto::kUdp,
+                      {Ipv4Addr::FromOctets(10, 0, 0, 2), static_cast<uint16_t>(2000 + i)},
+                      {}};
+}
+
+std::vector<uint8_t> FrameFor(const SessionTuple& t) {
+  std::vector<uint8_t> pkt(60, 0);
+  Store16(pkt.data() + FilterOffsets::kEtherType, kEtherTypeIpv4);
+  pkt[FilterOffsets::kIpVerIhl] = 0x45;
+  pkt[FilterOffsets::kIpProto] = static_cast<uint8_t>(t.proto);
+  Store32(pkt.data() + FilterOffsets::kIpSrc, Ipv4Addr::FromOctets(10, 0, 0, 1).v);
+  Store32(pkt.data() + FilterOffsets::kIpDst, t.local.addr.v);
+  Store16(pkt.data() + FilterOffsets::kSrcPort, 1234);
+  Store16(pkt.data() + FilterOffsets::kDstPort, t.local.port);
+  return pkt;
+}
+
+Row Measure(int sessions, bool indexed, const MachineProfile& prof) {
+  FilterEngine engine;
+  // The realistic population: a low-priority catch-all (the OS server's,
+  // never indexable) under per-session filters.
+  engine.Install(CompileCatchAllFilter(), /*priority=*/0);
+  for (int i = 0; i < sessions; i++) {
+    SessionTuple t = TupleFor(i);
+    if (indexed) {
+      engine.Install(CompileSessionFilter(t), 10, SessionFlowSpec(t));
+    } else {
+      engine.Install(CompileSessionFilter(t), 10);
+    }
+  }
+  // Worst case for the linear scan: the last-installed session's frame.
+  std::vector<uint8_t> pkt = FrameFor(TupleFor(sessions - 1));
+
+  FilterEngine::MatchResult m = engine.Match(pkt.data(), pkt.size());
+
+  Row row;
+  row.sessions = sessions;
+  row.mode = indexed ? "indexed" : "linear";
+  row.programs_run = m.programs_run;
+  row.insns = m.insns_executed;
+  row.classify_ops = m.classify_ops;
+  row.virtual_ns = static_cast<double>(prof.filter_fixed +
+                                       m.insns_executed * prof.filter_per_insn +
+                                       m.classify_ops * prof.demux_classify);
+
+  int iters = sessions > 64 ? 2000 : 200000;
+  volatile uint64_t sink = 0;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; i++) {
+    sink += engine.Match(pkt.data(), pkt.size()).id;
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  (void)sink;
+  row.wall_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count() /
+      static_cast<double>(iters);
+  return row;
+}
+
+}  // namespace
+}  // namespace psd
+
+int main() {
+  using namespace psd;
+  MachineProfile prof = MachineProfile::DecStation5000();
+  const int kCounts[] = {1, 8, 64, 512, 4096};
+
+  std::printf("-- Demux scaling: per-packet classification cost vs installed sessions --\n");
+  std::printf("(worst-case frame: matches the last-installed session filter)\n\n");
+  std::printf("%9s %9s %16s %14s %10s %8s %9s\n", "sessions", "mode", "virtual us/pkt",
+              "wall ns/pkt", "programs", "insns", "classify");
+
+  std::vector<Row> rows;
+  for (int n : kCounts) {
+    for (bool indexed : {false, true}) {
+      Row r = Measure(n, indexed, prof);
+      rows.push_back(r);
+      std::printf("%9d %9s %16.1f %14.1f %10d %8d %9d\n", r.sessions, r.mode,
+                  r.virtual_ns / 1000.0, r.wall_ns, r.programs_run, r.insns, r.classify_ops);
+    }
+  }
+
+  // Acceptance summary (ISSUE 1): indexed flat 1 -> 4096, linear >= 100x.
+  double lin_first = 0, lin_last = 0, idx_first = 0, idx_last = 0;
+  for (const Row& r : rows) {
+    bool indexed = std::string(r.mode) == "indexed";
+    if (r.sessions == kCounts[0]) {
+      (indexed ? idx_first : lin_first) = r.virtual_ns;
+    }
+    if (r.sessions == kCounts[4]) {
+      (indexed ? idx_last : lin_last) = r.virtual_ns;
+    }
+  }
+  double idx_ratio = idx_last / idx_first;
+  double lin_ratio = lin_last / lin_first;
+  bool flat = idx_ratio < 1.10 && idx_ratio > 0.90;
+  bool grows = lin_ratio >= 100.0;
+  std::printf("\nindexed cost 1->4096 sessions: %.2fx (%s within 10%%)\n", idx_ratio,
+              flat ? "flat," : "NOT flat,");
+  std::printf("linear  cost 1->4096 sessions: %.0fx (%s >= 100x)\n", lin_ratio,
+              grows ? "grows" : "does NOT grow");
+
+  FILE* json = std::fopen("BENCH_demux.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\"bench\":\"demux_scaling\",\"profile\":\"%s\",\n", prof.name.c_str());
+    std::fprintf(json, " \"indexed_cost_ratio\":%.3f,\"linear_cost_ratio\":%.3f,\n", idx_ratio,
+                 lin_ratio);
+    std::fprintf(json, " \"results\":[\n");
+    for (size_t i = 0; i < rows.size(); i++) {
+      const Row& r = rows[i];
+      std::fprintf(json,
+                   "  {\"sessions\":%d,\"mode\":\"%s\",\"virtual_ns_per_pkt\":%.0f,"
+                   "\"wall_ns_per_pkt\":%.1f,\"programs_run\":%d,\"insns\":%d,"
+                   "\"classify_ops\":%d}%s\n",
+                   r.sessions, r.mode, r.virtual_ns, r.wall_ns, r.programs_run, r.insns,
+                   r.classify_ops, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, " ]}\n");
+    std::fclose(json);
+    std::printf("\nwrote BENCH_demux.json\n");
+  }
+  return flat && grows ? 0 : 1;
+}

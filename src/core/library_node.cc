@@ -390,7 +390,9 @@ Result<size_t> LibraryNode::FwdRecv(Desc* d, uint8_t* out, size_t len, SockAddrI
   size_t n = std::min(len, rep.payload.size());
   lib_->host()->sim()->current_thread()->Charge(static_cast<SimDuration>(n) *
                                                 lib_->host()->prof()->ipc_per_byte);
-  std::memcpy(out, rep.payload.data(), n);
+  if (n > 0) {
+    std::memcpy(out, rep.payload.data(), n);
+  }
   if (from != nullptr) {
     from->addr = Ipv4Addr(static_cast<uint32_t>(rep.arg[2] >> 16));
     from->port = static_cast<uint16_t>(rep.arg[2] & 0xffff);

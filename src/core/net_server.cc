@@ -135,8 +135,14 @@ Result<NetServer::Session*> NetServer::Find(uint64_t sid) {
 void NetServer::InstallSessionFilter(Session* s) {
   auto lib = libraries_.find(s->owner_lib);
   assert(lib != libraries_.end());
+  // The compiler emits both the VM program (the security fallback the
+  // kernel can always interpret) and its declarative FlowSpec, which lets
+  // the kernel demux this session with one indexed lookup. Install/remove
+  // pairs around migration handover run without blocking, so the flow-table
+  // entry moves atomically with the session w.r.t. packet events.
+  FlowSpec flow = SessionFlowSpec(s->tuple);
   s->filter_id = host_->kernel()->InstallFilter(CompileSessionFilter(s->tuple),
-                                                kAppFilterPriority, lib->second.endpoint);
+                                                kAppFilterPriority, lib->second.endpoint, &flow);
 }
 
 void NetServer::RemoveSessionFilter(Session* s) {

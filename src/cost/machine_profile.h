@@ -56,6 +56,10 @@ struct MachineProfile {
   // --- Packet filter ---
   SimDuration filter_fixed;     // dispatch into the filter engine
   SimDuration filter_per_insn;  // one filter VM instruction
+  // One indexed flow-table classification (header parse + hash + tuple
+  // compare) on the receive demux fast path. Charged per lookup; the VM
+  // fallback path keeps per-instruction charging.
+  SimDuration demux_classify;
 
   // --- Allocators ---
   SimDuration mbuf_get;     // allocate/free one small mbuf (amortized pair)

@@ -95,6 +95,17 @@ FilterProgram CompileSessionFilter(const SessionTuple& t, bool accept_fragments)
   return a.Finish();
 }
 
+FlowSpec SessionFlowSpec(const SessionTuple& t, bool accept_fragments) {
+  FlowSpec f;
+  f.proto = t.proto;
+  f.local_addr = t.local.addr;
+  f.local_port = t.local.port;
+  f.remote_addr = t.remote.addr;  // Any = wildcard, mirroring the compiler
+  f.remote_port = t.remote.port;  // 0 = wildcard
+  f.accept_fragments = accept_fragments;
+  return f;
+}
+
 FilterProgram CompileCatchAllFilter() {
   Asm a;
   a.Emit(FilterOp::kLdH, FilterOffsets::kEtherType);

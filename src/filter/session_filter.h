@@ -11,17 +11,8 @@
 
 namespace psd {
 
-// Frame-relative offsets used by the compiler (Ethernet + IPv4, no options).
-struct FilterOffsets {
-  static constexpr uint32_t kEtherType = 12;
-  static constexpr uint32_t kIpVerIhl = 14;
-  static constexpr uint32_t kIpFragField = 20;
-  static constexpr uint32_t kIpProto = 23;
-  static constexpr uint32_t kIpSrc = 26;
-  static constexpr uint32_t kIpDst = 30;
-  static constexpr uint32_t kSrcPort = 34;
-  static constexpr uint32_t kDstPort = 36;
-};
+// (Frame-relative header offsets — FilterOffsets — live in filter.h, shared
+// with the flow-table classifier.)
 
 // Filter for a session. Matches:
 //  * non-fragmented packets of the session's protocol whose IP/port tuple
@@ -30,6 +21,12 @@ struct FilterOffsets {
 //    session's protocol addressed to the local IP — ports live only in the
 //    first fragment; reassembly + transport demux discard misdirected data.
 FilterProgram CompileSessionFilter(const SessionTuple& t, bool accept_fragments = true);
+
+// The declarative classification spec for the same session: describes the
+// identical frame set as CompileSessionFilter's program (both derive from
+// the tuple), which lets FilterEngine resolve the filter with one indexed
+// flow-table lookup instead of interpreting the program.
+FlowSpec SessionFlowSpec(const SessionTuple& t, bool accept_fragments = true);
 
 // Catch-all for a full-stack domain (in-kernel or server placement): all
 // IPv4 and ARP traffic. Installed at low priority so per-session filters

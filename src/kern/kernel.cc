@@ -23,8 +23,10 @@ Kernel::~Kernel() {
   }
 }
 
-uint64_t Kernel::InstallFilter(FilterProgram prog, int priority, DeliveryEndpoint ep) {
-  uint64_t id = engine_.Install(std::move(prog), priority);
+uint64_t Kernel::InstallFilter(FilterProgram prog, int priority, DeliveryEndpoint ep,
+                               const FlowSpec* flow) {
+  uint64_t id = flow != nullptr ? engine_.Install(std::move(prog), priority, *flow)
+                                : engine_.Install(std::move(prog), priority);
   if (id != 0) {
     endpoints_[id] = ep;
   }
@@ -82,7 +84,14 @@ void Kernel::DeliverFrame() {
     ProbeSpan span(probe_, sim_, Stage::kNetisrFilter);
     FilterEngine::MatchResult m = engine_.Match(f.data(), f.size());
     filter_insns_ += static_cast<uint64_t>(m.insns_executed);
-    self->Charge(prof_->filter_fixed + m.insns_executed * prof_->filter_per_insn);
+    demux_classifies_ += static_cast<uint64_t>(m.classify_ops);
+    if (m.via_flow_table) {
+      rx_flow_hits_++;
+    }
+    // Indexed classifications charge demux_classify; any programs the
+    // engine still had to interpret keep per-instruction charging.
+    self->Charge(prof_->filter_fixed + m.insns_executed * prof_->filter_per_insn +
+                 m.classify_ops * prof_->demux_classify);
     return m;
   };
 

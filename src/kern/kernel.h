@@ -50,9 +50,17 @@ class Kernel {
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
 
-  // Installs a validated filter program demultiplexing to `ep`.
-  // Returns the filter id (0 on validation failure).
-  uint64_t InstallFilter(FilterProgram prog, int priority, DeliveryEndpoint ep);
+  // Installs a validated filter program demultiplexing to `ep`. When the
+  // installer also supplies the program's declarative FlowSpec (session
+  // filters do), the engine indexes the filter in its flow table and
+  // receive demux resolves it in one classification instead of a VM scan —
+  // identically for all three user-level delivery variants (kIpc, kShm,
+  // kShmIpf). Returns the filter id (0 on validation failure).
+  uint64_t InstallFilter(FilterProgram prog, int priority, DeliveryEndpoint ep,
+                         const FlowSpec* flow = nullptr);
+  // Removes a filter. Install/Remove are plain simulated-kernel calls with
+  // no internal blocking, so a Remove+Install pair issued by one thread
+  // (session migration handover) is atomic with respect to packet events.
   void RemoveFilter(uint64_t id);
 
   // Raw packet send from user space: one trap, then the frame is copied
@@ -80,6 +88,8 @@ class Kernel {
   uint64_t rx_delivered() const { return rx_delivered_; }
   uint64_t rx_unmatched() const { return rx_unmatched_; }
   uint64_t filter_insns() const { return filter_insns_; }
+  uint64_t demux_classifies() const { return demux_classifies_; }
+  uint64_t rx_flow_hits() const { return rx_flow_hits_; }
 
  private:
   void IntrThreadBody();
@@ -102,6 +112,8 @@ class Kernel {
   uint64_t rx_delivered_ = 0;
   uint64_t rx_unmatched_ = 0;
   uint64_t filter_insns_ = 0;
+  uint64_t demux_classifies_ = 0;
+  uint64_t rx_flow_hits_ = 0;
 };
 
 }  // namespace psd

@@ -378,7 +378,9 @@ Result<size_t> UxServerNode::Recv(int fd, uint8_t* out, size_t len, SockAddrIn* 
                p->ipc_fixed + p->wakeup_cross +
                    3 * static_cast<SimDuration>(n) * p->ipc_per_byte);
   }
-  std::memcpy(out, rep.payload.data(), n);
+  if (n > 0) {
+    std::memcpy(out, rep.payload.data(), n);
+  }
   if (from != nullptr) {
     from->addr = Ipv4Addr(static_cast<uint32_t>(rep.arg[2] >> 16));
     from->port = static_cast<uint16_t>(rep.arg[2] & 0xffff);

@@ -1,0 +1,249 @@
+// Property test for the indexed demux fast path (ISSUE 1): two engines
+// holding identical filter sets — one installed program-only ("linear"),
+// one with the session compiler's FlowSpec alongside ("indexed") — must
+// return identical endpoint ids for every packet, across randomized filter
+// sets (mixed priorities, remote wildcards, non-indexable programs),
+// randomized/adversarial packets, install/remove churn, and the
+// remove-then-reinstall pattern of session migration handover.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+
+#include "src/base/bytes.h"
+#include "src/filter/session_filter.h"
+#include "src/netsim/ether.h"
+
+namespace psd {
+namespace {
+
+// Small pools so random choices collide: same local endpoint under
+// different priorities, wildcard vs exact entries for one port, etc.
+const Ipv4Addr kAddrs[] = {Ipv4Addr::FromOctets(10, 0, 0, 2), Ipv4Addr::FromOctets(10, 0, 0, 3),
+                           Ipv4Addr::FromOctets(10, 0, 0, 9)};
+const uint16_t kPorts[] = {0, 80, 5001, 7000, 7001};
+
+class EnginePair {
+ public:
+  // Installs the same filter into both engines; returns the shared id.
+  uint64_t InstallSession(const SessionTuple& t, int priority, bool accept_frags) {
+    uint64_t a = linear_.Install(CompileSessionFilter(t, accept_frags), priority);
+    uint64_t b = indexed_.Install(CompileSessionFilter(t, accept_frags), priority,
+                                  SessionFlowSpec(t, accept_frags));
+    EXPECT_EQ(a, b);
+    return a;
+  }
+
+  uint64_t InstallVm(const FilterProgram& prog, int priority) {
+    uint64_t a = linear_.Install(prog, priority);
+    uint64_t b = indexed_.Install(prog, priority);
+    EXPECT_EQ(a, b);
+    return a;
+  }
+
+  void Remove(uint64_t id) {
+    linear_.Remove(id);
+    indexed_.Remove(id);
+  }
+
+  void ExpectSameMatch(const std::vector<uint8_t>& pkt, const char* what) {
+    FilterEngine::MatchResult a = linear_.Match(pkt.data(), pkt.size());
+    FilterEngine::MatchResult b = indexed_.Match(pkt.data(), pkt.size());
+    EXPECT_EQ(a.id, b.id) << what << " (len " << pkt.size() << ")";
+  }
+
+  FilterEngine& indexed() { return indexed_; }
+
+ private:
+  FilterEngine linear_;
+  FilterEngine indexed_;
+};
+
+std::vector<uint8_t> RandomFrame(std::mt19937& rng) {
+  std::uniform_int_distribution<int> coin(0, 1);
+  std::uniform_int_distribution<size_t> addr_pick(0, std::size(kAddrs) - 1);
+  std::uniform_int_distribution<size_t> port_pick(0, std::size(kPorts) - 1);
+
+  // Length boundaries matter: a session program's deepest loads need 34
+  // (header-only path) and 38 (port path) bytes.
+  const size_t lens[] = {10, 22, 33, 34, 37, 38, 60, 1514};
+  std::uniform_int_distribution<size_t> len_pick(0, std::size(lens) - 1);
+  std::vector<uint8_t> f(lens[len_pick(rng)], 0);
+
+  std::uniform_int_distribution<int> kind(0, 9);
+  int k = kind(rng);
+  if (k == 0) {
+    // Pure garbage.
+    for (uint8_t& b : f) {
+      b = static_cast<uint8_t>(rng());
+    }
+    return f;
+  }
+  uint16_t ethertype = k == 1 ? kEtherTypeArp : k == 2 ? 0x86dd : kEtherTypeIpv4;
+  if (f.size() >= 14) {
+    Store16(f.data() + FilterOffsets::kEtherType, ethertype);
+  }
+  if (f.size() > FilterOffsets::kIpVerIhl) {
+    f[FilterOffsets::kIpVerIhl] = coin(rng) != 0 ? 0x45 : 0x46;
+  }
+  if (f.size() > FilterOffsets::kIpProto) {
+    const uint8_t protos[] = {6, 17, 1, 89};
+    f[FilterOffsets::kIpProto] = protos[std::uniform_int_distribution<int>(0, 3)(rng)];
+  }
+  if (f.size() >= FilterOffsets::kIpFragField + 2) {
+    // Mix unfragmented, first-fragment (MF only), and continuation.
+    const uint16_t frags[] = {0, 0x2000, 0x0005, 0x1fff};
+    Store16(f.data() + FilterOffsets::kIpFragField,
+            frags[std::uniform_int_distribution<int>(0, 3)(rng)]);
+  }
+  if (f.size() >= FilterOffsets::kIpSrc + 4) {
+    Store32(f.data() + FilterOffsets::kIpSrc, kAddrs[addr_pick(rng)].v);
+  }
+  if (f.size() >= FilterOffsets::kIpDst + 4) {
+    Store32(f.data() + FilterOffsets::kIpDst, kAddrs[addr_pick(rng)].v);
+  }
+  if (f.size() >= FilterOffsets::kDstPort + 2) {
+    Store16(f.data() + FilterOffsets::kSrcPort, kPorts[port_pick(rng)]);
+    Store16(f.data() + FilterOffsets::kDstPort, kPorts[port_pick(rng)]);
+  }
+  return f;
+}
+
+SessionTuple RandomTuple(std::mt19937& rng) {
+  std::uniform_int_distribution<size_t> addr_pick(0, std::size(kAddrs) - 1);
+  std::uniform_int_distribution<size_t> port_pick(1, std::size(kPorts) - 1);
+  std::uniform_int_distribution<int> wild(0, 3);
+  SessionTuple t;
+  t.proto = std::uniform_int_distribution<int>(0, 1)(rng) != 0 ? IpProto::kTcp : IpProto::kUdp;
+  t.local = {kAddrs[addr_pick(rng)], kPorts[port_pick(rng)]};
+  int w = wild(rng);  // 0: both wild, 1: addr only, 2: port only, 3: exact
+  t.remote.addr = (w & 1) != 0 ? kAddrs[addr_pick(rng)] : Ipv4Addr::Any();
+  t.remote.port = (w & 2) != 0 ? kPorts[port_pick(rng)] : 0;
+  return t;
+}
+
+// A hand-written, non-indexable program the flow table knows nothing
+// about: accepts IPv4 frames whose destination port is > 6000.
+FilterProgram HighPortFilter() {
+  FilterProgram p;
+  p.LdH(FilterOffsets::kEtherType);
+  p.JEqK(kEtherTypeIpv4, 0, 3);
+  p.LdH(FilterOffsets::kDstPort);
+  p.JGtK(6000, 0, 1);
+  p.Accept();
+  p.Reject();
+  return p;
+}
+
+TEST(DemuxEquivalence, RandomizedFilterSetsAndPackets) {
+  std::mt19937 rng(0x5eed1);
+  std::uniform_int_distribution<int> prio(0, 20);
+  std::uniform_int_distribution<int> coin(0, 1);
+
+  for (int round = 0; round < 30; round++) {
+    EnginePair pair;
+    std::vector<uint64_t> live;
+    int installs = std::uniform_int_distribution<int>(1, 24)(rng);
+    for (int i = 0; i < installs; i++) {
+      int k = std::uniform_int_distribution<int>(0, 9)(rng);
+      if (k < 6) {
+        live.push_back(pair.InstallSession(RandomTuple(rng), prio(rng), coin(rng) != 0));
+      } else if (k == 6) {
+        live.push_back(pair.InstallVm(CompileCatchAllFilter(), prio(rng)));
+      } else if (k == 7) {
+        live.push_back(pair.InstallVm(CompileArpFilter(), prio(rng)));
+      } else if (k == 8) {
+        live.push_back(pair.InstallVm(HighPortFilter(), prio(rng)));
+      } else {
+        // Indexable-shaped program installed WITHOUT its FlowSpec: must be
+        // resolved by the VM fallback in both engines.
+        live.push_back(pair.InstallVm(CompileSessionFilter(RandomTuple(rng)), prio(rng)));
+      }
+    }
+    for (int p = 0; p < 200; p++) {
+      pair.ExpectSameMatch(RandomFrame(rng), "random set");
+    }
+    // Churn: remove a random half, re-check, then add more.
+    std::shuffle(live.begin(), live.end(), rng);
+    for (size_t i = 0; i < live.size() / 2; i++) {
+      pair.Remove(live[i]);
+    }
+    for (int p = 0; p < 100; p++) {
+      pair.ExpectSameMatch(RandomFrame(rng), "after churn");
+    }
+  }
+}
+
+TEST(DemuxEquivalence, MigrationHandoverReinstall) {
+  // Session migration removes a session's filter and immediately reinstalls
+  // it (new id, possibly narrowed remote). The flow-table entry must move
+  // with it: packets route to the new id, never the dead one.
+  std::mt19937 rng(0x5eed2);
+  EnginePair pair;
+  pair.InstallVm(CompileCatchAllFilter(), 0);
+
+  std::map<int, uint64_t> sessions;  // slot -> live id
+  std::vector<SessionTuple> tuples;
+  for (int i = 0; i < 8; i++) {
+    SessionTuple t{IpProto::kUdp, {kAddrs[0], static_cast<uint16_t>(7000 + i)}, {}};
+    tuples.push_back(t);
+    sessions[i] = pair.InstallSession(t, 10, true);
+  }
+  for (int step = 0; step < 100; step++) {
+    int slot = std::uniform_int_distribution<int>(0, 7)(rng);
+    // Handover: unconnected binding narrows to a connected remote or back.
+    pair.Remove(sessions[slot]);
+    SessionTuple t = tuples[slot];
+    if (std::uniform_int_distribution<int>(0, 1)(rng) != 0) {
+      t.remote = {kAddrs[1], 1024};
+    }
+    sessions[slot] = pair.InstallSession(t, 10, true);
+
+    for (int p = 0; p < 20; p++) {
+      pair.ExpectSameMatch(RandomFrame(rng), "handover");
+    }
+    // The migrated session's own traffic lands on the fresh id.
+    std::vector<uint8_t> f(60, 0);
+    Store16(f.data() + FilterOffsets::kEtherType, kEtherTypeIpv4);
+    f[FilterOffsets::kIpVerIhl] = 0x45;
+    f[FilterOffsets::kIpProto] = static_cast<uint8_t>(IpProto::kUdp);
+    Store32(f.data() + FilterOffsets::kIpSrc, kAddrs[1].v);
+    Store32(f.data() + FilterOffsets::kIpDst, t.local.addr.v);
+    Store16(f.data() + FilterOffsets::kSrcPort, 1024);
+    Store16(f.data() + FilterOffsets::kDstPort, t.local.port);
+    EXPECT_EQ(pair.indexed().Match(f.data(), f.size()).id, sessions[slot]);
+    pair.ExpectSameMatch(f, "handover target");
+  }
+}
+
+TEST(DemuxEquivalence, IndexedPathReportsClassification) {
+  // Below two indexable filters the engine keeps the seed's pure VM scan;
+  // from two up, one classification replaces the per-session program runs.
+  EnginePair pair;
+  SessionTuple t0{IpProto::kUdp, {kAddrs[0], 7000}, {}};
+  SessionTuple t1{IpProto::kUdp, {kAddrs[0], 7001}, {}};
+  std::vector<uint8_t> f(60, 0);
+  Store16(f.data() + FilterOffsets::kEtherType, kEtherTypeIpv4);
+  f[FilterOffsets::kIpVerIhl] = 0x45;
+  f[FilterOffsets::kIpProto] = static_cast<uint8_t>(IpProto::kUdp);
+  Store32(f.data() + FilterOffsets::kIpDst, kAddrs[0].v);
+  Store16(f.data() + FilterOffsets::kDstPort, 7000);
+
+  uint64_t id0 = pair.InstallSession(t0, 10, true);
+  FilterEngine::MatchResult m = pair.indexed().Match(f.data(), f.size());
+  EXPECT_EQ(m.id, id0);
+  EXPECT_EQ(m.classify_ops, 0);
+  EXPECT_FALSE(m.via_flow_table);
+
+  pair.InstallSession(t1, 10, true);
+  m = pair.indexed().Match(f.data(), f.size());
+  EXPECT_EQ(m.id, id0);
+  EXPECT_EQ(m.classify_ops, 1);
+  EXPECT_TRUE(m.via_flow_table);
+  EXPECT_EQ(m.programs_run, 0);
+  EXPECT_EQ(pair.indexed().indexed_count(), 2u);
+}
+
+}  // namespace
+}  // namespace psd

@@ -99,6 +99,48 @@ TEST(FilterVm, OutOfRangeLoadRejects) {
   EXPECT_FALSE(RunFilter(p, pkt.data(), pkt.size()).accepted);
 }
 
+TEST(FilterVm, HugeOffsetsDoNotWrapBoundsCheck) {
+  // Regression: the bounds checks used to compute `k + width` in uint32_t,
+  // so k near UINT32_MAX wrapped past the check and read out of bounds.
+  std::vector<uint8_t> pkt(60, 0);
+  for (uint32_t k : {0xFFFFFFFFu, 0xFFFFFFFEu, 0xFFFFFFFCu}) {
+    FilterProgram b;
+    b.LdB(k);
+    b.Accept();
+    EXPECT_FALSE(RunFilter(b, pkt.data(), pkt.size()).accepted) << "ldb k=" << k;
+    FilterProgram h;
+    h.LdH(k);
+    h.Accept();
+    EXPECT_FALSE(RunFilter(h, pkt.data(), pkt.size()).accepted) << "ldh k=" << k;
+    FilterProgram w;
+    w.LdW(k);
+    w.Accept();
+    EXPECT_FALSE(RunFilter(w, pkt.data(), pkt.size()).accepted) << "ldw k=" << k;
+  }
+  // Zero-length packets reject every load, including at offset 0.
+  FilterProgram z;
+  z.LdB(0);
+  z.Accept();
+  EXPECT_FALSE(RunFilter(z, pkt.data(), 0).accepted);
+}
+
+TEST(FilterVm, ValidationRejectsOversizedLoadOffsets) {
+  FilterProgram p;
+  p.LdW(kMaxFilterLoadOffset + 1);
+  p.Accept();
+  EXPECT_FALSE(p.Validate());
+
+  FilterProgram q;
+  q.LdB(0xFFFFFFFF);
+  q.Accept();
+  EXPECT_FALSE(q.Validate());
+
+  FilterProgram ok;
+  ok.LdB(kMaxFilterLoadOffset);
+  ok.Accept();
+  EXPECT_TRUE(ok.Validate());
+}
+
 TEST(FilterVm, ValidationRejectsBadJumps) {
   FilterProgram p;
   p.LdB(0);

@@ -59,6 +59,36 @@ TEST_F(KernelTest, FilterRoutesToQueueEndpoint) {
   EXPECT_EQ(b.kernel()->rx_delivered(), 1u);
 }
 
+TEST_F(KernelTest, IndexedDemuxRoutesAmongManySessions) {
+  // With several sessions installed (each with its FlowSpec), receive demux
+  // resolves via the flow table — one classification, zero program runs —
+  // and still lands each frame on the right endpoint.
+  constexpr int kSessions = 16;
+  std::vector<PacketQueue*> queues;
+  for (int i = 0; i < kSessions; i++) {
+    PacketQueue* q = b.kernel()->MakeQueueEndpoint("q" + std::to_string(i), 0);
+    queues.push_back(q);
+    SessionTuple t{IpProto::kUdp, {b.ip(), static_cast<uint16_t>(7000 + i)}, {}};
+    FlowSpec flow = SessionFlowSpec(t);
+    uint64_t id = b.kernel()->InstallFilter(CompileSessionFilter(t), 10,
+                                            DeliveryEndpoint{DeliverKind::kShm, q, nullptr},
+                                            &flow);
+    ASSERT_NE(id, 0u);
+  }
+  sim.Spawn("tx", a.cpu(), [&] {
+    a.kernel()->NetSendFromUser(MakeUdpFrame(a.ip(), b.ip(), 1234, 7000));
+    a.kernel()->NetSendFromUser(MakeUdpFrame(a.ip(), b.ip(), 1234, 7000 + kSessions - 1));
+  });
+  sim.Run(Seconds(1));
+  EXPECT_EQ(queues.front()->size(), 1u);
+  EXPECT_EQ(queues.back()->size(), 1u);
+  EXPECT_EQ(b.kernel()->rx_delivered(), 2u);
+  EXPECT_EQ(b.kernel()->rx_flow_hits(), 2u);
+  EXPECT_EQ(b.kernel()->demux_classifies(), 2u);
+  // No VM program ran: the flow table resolved both frames.
+  EXPECT_EQ(b.kernel()->filter_insns(), 0u);
+}
+
 TEST_F(KernelTest, UnmatchedFramesAreDropped) {
   // No filters installed on b at all.
   sim.Spawn("tx", a.cpu(), [&] {
