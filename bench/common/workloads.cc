@@ -124,11 +124,11 @@ SweepResult TtcpBestBuffer(Config config, const MachineProfile& profile, TtcpOpt
 namespace {
 
 double ProtolatImpl(Config config, const MachineProfile& profile, const ProtolatOptions& opt,
-                    StageRecorder* recorder) {
+                    const ProtolatHooks& hooks) {
   World w(config, profile, 2, opt.pio_nic);
-  if (recorder != nullptr) {
-    w.AttachProbe(0, recorder);
-    w.AttachProbe(1, recorder);
+  if (hooks.tracer != nullptr) {
+    w.AttachTracer(0, hooks.tracer);
+    w.AttachTracer(1, hooks.tracer);
   }
   double mean_ms = 0;
   bool done = false;
@@ -199,8 +199,8 @@ double ProtolatImpl(Config config, const MachineProfile& profile, const Protolat
     SimTime t0 = 0;
     for (int i = 0; i < opt.trials + warmup; i++) {
       if (i == warmup) {
-        if (recorder != nullptr) {
-          recorder->Reset();
+        if (hooks.on_measure_begin) {
+          hooks.on_measure_begin();
         }
         t0 = w.sim().Now();
       }
@@ -233,6 +233,9 @@ double ProtolatImpl(Config config, const MachineProfile& profile, const Protolat
     }
     mean_ms = ToMillis(w.sim().Now() - t0) / opt.trials;
     done = true;
+    if (hooks.on_done) {
+      hooks.on_done(w);
+    }
     api->Close(fd);
   });
 
@@ -243,12 +246,22 @@ double ProtolatImpl(Config config, const MachineProfile& profile, const Protolat
 }  // namespace
 
 double RunProtolat(Config config, const MachineProfile& profile, const ProtolatOptions& opt) {
-  return ProtolatImpl(config, profile, opt, nullptr);
+  return ProtolatImpl(config, profile, opt, ProtolatHooks{});
+}
+
+double RunProtolatTraced(Config config, const MachineProfile& profile, const ProtolatOptions& opt,
+                         const ProtolatHooks& hooks) {
+  return ProtolatImpl(config, profile, opt, hooks);
 }
 
 double RunProtolatProbed(Config config, const MachineProfile& profile, const ProtolatOptions& opt,
                          StageRecorder* recorder) {
-  return ProtolatImpl(config, profile, opt, recorder);
+  Tracer tracer;
+  tracer.AddSink(recorder);
+  ProtolatHooks hooks;
+  hooks.tracer = &tracer;
+  hooks.on_measure_begin = [recorder] { recorder->Reset(); };
+  return ProtolatImpl(config, profile, opt, hooks);
 }
 
 }  // namespace psd

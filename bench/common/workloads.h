@@ -59,9 +59,28 @@ struct ProtolatOptions {
 // Mean round-trip time in milliseconds.
 double RunProtolat(Config config, const MachineProfile& profile, const ProtolatOptions& opt);
 
-// Same, with a Table 4 stage recorder attached to the *server* (echo) host
-// so the receive path of the measured direction is captured there; the
-// client host records the send path. Pass the same recorder for both.
+// Observability hooks for an instrumented protolat run. The tracer (if any)
+// is attached to both hosts before the run, so its sinks see the client's
+// send path and the echo host's receive path.
+struct ProtolatHooks {
+  Tracer* tracer = nullptr;
+  // Called on the client thread at the warmup/measurement boundary (use to
+  // reset accumulating sinks so means cover only measured trials).
+  std::function<void()> on_measure_begin;
+  // Called on the client thread after the timed trials, while the world is
+  // still alive (use to snapshot stats registries).
+  std::function<void(World&)> on_done;
+};
+
+// Instrumented run: same workload and virtual-time behaviour as
+// RunProtolat (the tracer charges nothing), with spans flowing to the
+// tracer's sinks.
+double RunProtolatTraced(Config config, const MachineProfile& profile, const ProtolatOptions& opt,
+                         const ProtolatHooks& hooks);
+
+// Table 4 convenience wrapper: runs protolat with a private Tracer feeding
+// `recorder`, reset at the warmup boundary so cells cover only measured
+// round trips.
 double RunProtolatProbed(Config config, const MachineProfile& profile, const ProtolatOptions& opt,
                          StageRecorder* recorder);
 

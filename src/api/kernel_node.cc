@@ -39,9 +39,9 @@ KernelNode::~KernelNode() {
   }
 }
 
-void KernelNode::SetStageRecorder(StageRecorder* rec) {
-  stack_->env()->probe = rec;
-  host_->kernel()->SetStageRecorder(rec);
+void KernelNode::SetTracer(Tracer* tracer) {
+  stack_->env()->tracer = tracer;
+  host_->kernel()->SetTracer(tracer);
 }
 
 BoundaryModel KernelNode::TrapBoundary() {

@@ -38,7 +38,10 @@ class KernelNode : public SocketApi {
 
   Stack* stack() { return stack_.get(); }
   SimHost* host() { return host_; }
-  void SetStageRecorder(StageRecorder* rec);
+
+  // Attaches the observability tracer to the in-kernel stack and the host
+  // kernel. May be null.
+  void SetTracer(Tracer* tracer);
 
  private:
   friend class LibraryNode;  // shares the fd-table helpers

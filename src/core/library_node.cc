@@ -4,6 +4,8 @@
 
 #include "src/api/kernel_node.h"
 #include "src/base/log.h"
+#include "src/obs/stats.h"
+#include "src/obs/trace.h"
 
 namespace psd {
 
@@ -110,8 +112,12 @@ IpcMessage ProtocolLibrary::Call(ProxyOp op, uint64_t sid, std::vector<uint8_t> 
                                  uint64_t a2, uint64_t a3) {
   SimThread* self = host_->sim()->current_thread();
   assert(self != nullptr);
+  // Control-path proxy RPC into the OS server (the span covers the trap,
+  // the send leg, and the blocked wait for the reply).
+  TraceSpan span(tracer_, host_->sim(), ProxyOpName(op), TraceLayer::kCore, sid);
   self->Charge(host_->prof()->trap);
   Port reply(host_->sim(), host_->prof(), name_ + "/reply");
+  reply.SetTracer(tracer_);
   IpcMessage req;
   req.kind = static_cast<uint32_t>(op);
   req.arg[1] = sid;
@@ -165,9 +171,18 @@ void ProtocolLibrary::InvalidateRoutes() {
   stack_->routes() = RouteTable();
 }
 
-void ProtocolLibrary::SetStageRecorder(StageRecorder* rec) {
-  stack_->env()->probe = rec;
-  host_->kernel()->SetStageRecorder(rec);
+void ProtocolLibrary::SetTracer(Tracer* tracer) {
+  tracer_ = tracer;
+  stack_->env()->tracer = tracer;
+  host_->kernel()->SetTracer(tracer);
+  pkt_port_.SetTracer(tracer);
+}
+
+void ProtocolLibrary::ExportStats(StatsRegistry* reg, const std::string& prefix) const {
+  reg->RegisterGauge(prefix + "arp_cache_hits", [this] { return arp_hits_; });
+  reg->RegisterGauge(prefix + "arp_cache_misses", [this] { return arp_misses_; });
+  reg->RegisterGauge(prefix + "invalidations", [this] { return invalidations_; });
+  stack_->ExportStats(reg, prefix + "stack.");
 }
 
 void ProtocolLibrary::SimulateCrash() {

@@ -54,7 +54,13 @@ class ProtocolLibrary : public MetastateSubscriber {
   void InvalidateArpEntry(Ipv4Addr ip) override;
   void InvalidateRoutes() override;
 
-  void SetStageRecorder(StageRecorder* rec);
+  // Attaches the observability tracer to the library stack, the host
+  // kernel, and the proxy call path. May be null.
+  void SetTracer(Tracer* tracer);
+
+  // Registers library counters (ARP cache, invalidations) plus the library
+  // stack's protocol counters under "<prefix>...".
+  void ExportStats(StatsRegistry* reg, const std::string& prefix) const;
 
   // Abandons the library without cleanup, as a crashing process would, and
   // runs the server's death protocol (filter removal + RSTs).
@@ -92,6 +98,7 @@ class ProtocolLibrary : public MetastateSubscriber {
   uint64_t lib_id_ = 0;
   SimThread* input_thread_ = nullptr;
   bool crashed_ = false;
+  Tracer* tracer_ = nullptr;
   uint64_t arp_hits_ = 0;
   uint64_t arp_misses_ = 0;
   uint64_t invalidations_ = 0;

@@ -5,6 +5,8 @@
 #include "src/api/kernel_node.h"
 #include "src/base/log.h"
 #include "src/filter/session_filter.h"
+#include "src/obs/stats.h"
+#include "src/obs/trace.h"
 
 namespace psd {
 
@@ -71,9 +73,21 @@ NetServer::~NetServer() {
   }
 }
 
-void NetServer::SetStageRecorder(StageRecorder* rec) {
-  stack_->env()->probe = rec;
-  host_->kernel()->SetStageRecorder(rec);
+void NetServer::SetTracer(Tracer* tracer) {
+  tracer_ = tracer;
+  stack_->env()->tracer = tracer;
+  host_->kernel()->SetTracer(tracer);
+  control_port_.SetTracer(tracer);
+  packet_port_.SetTracer(tracer);
+}
+
+void NetServer::ExportStats(StatsRegistry* reg, const std::string& prefix) const {
+  reg->RegisterGauge(prefix + "sessions", [this] { return static_cast<uint64_t>(sessions_.size()); });
+  reg->RegisterGauge(prefix + "suppressed", [this] { return static_cast<uint64_t>(suppressed_.size()); });
+  reg->RegisterGauge(prefix + "migrations_out", [this] { return migrations_out_; });
+  reg->RegisterGauge(prefix + "migrations_in", [this] { return migrations_in_; });
+  reg->RegisterGauge(prefix + "arp_callbacks_sent", [this] { return arp_callbacks_sent_; });
+  stack_->ExportStats(reg, prefix + "stack.");
 }
 
 uint64_t NetServer::RegisterLibrary(DeliveryEndpoint endpoint, MetastateSubscriber* subscriber) {
@@ -170,10 +184,17 @@ std::vector<uint8_t> NetServer::MigrateTcpOut(Session* s) {
   s->sock.reset();
   s->where = Where::kApp;
   migrations_out_++;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Instant(host_->sim(), "migrate/out", TraceLayer::kCore, s->filter_id);
+  }
   return st.Encode();
 }
 
 IpcMessage NetServer::Handle(const IpcMessage& req) {
+  // One span per proxy request handled, named by operation, tagged with the
+  // session id argument where the protocol carries one.
+  TraceSpan span(tracer_, host_->sim(), ProxyOpName(static_cast<ProxyOp>(req.kind)),
+                 TraceLayer::kCore, req.arg[1]);
   switch (static_cast<ProxyOp>(req.kind)) {
     case ProxyOp::kProxySocket:
       return HandleSocket(req);
@@ -409,10 +430,16 @@ IpcMessage NetServer::HandleReturn(const IpcMessage& req) {
         DomainLock lock(stack_->sync());
         pcb = stack_->tcp().AdoptMigrated(*st);
       }
-      suppressed_.erase(TupleKey(st->local, st->remote));
+      // Erase under the authoritative tuple recorded at migration time, not
+      // the app-decoded endpoints, so the entry removed is exactly the one
+      // MigrateTcpOut inserted.
+      suppressed_.erase(TupleKey(s->tuple.local, s->tuple.remote));
       s->sock = std::make_unique<Socket>(stack_.get(), pcb);
       stack_->Kick();
       migrations_in_++;
+      if (tracer_ != nullptr && tracer_->enabled()) {
+        tracer_->Instant(host_->sim(), "migrate/in", TraceLayer::kCore, req.arg[1]);
+      }
     } else {
       // UDP: recreate the binding server-side.
       UdpPcb* pcb = nullptr;
@@ -646,7 +673,12 @@ void NetServer::OnProcessDeath(uint64_t lib_id) {
       ++it;
       continue;
     }
-    if (s.where == Where::kApp) {
+    // A session caught mid-handover (MigrateTcpOut blocked extracting state)
+    // is still Where::kServer but already has its suppression entry and
+    // session filter installed; clean those up exactly like a migrated
+    // session, or both leak for the lifetime of the server.
+    bool mid_handover = s.where == Where::kServer && s.filter_id != 0;
+    if (s.where == Where::kApp || mid_handover) {
       RemoveSessionFilter(&s);
       if (s.proto == IpProto::kTcp) {
         DomainLock lock(stack_->sync());
@@ -656,12 +688,19 @@ void NetServer::OnProcessDeath(uint64_t lib_id) {
       if (s.tuple.local.port != 0) {
         stack_->ports().Release(s.tuple.local.port);
       }
+      if (s.sock != nullptr) {
+        // Mid-handover shell socket; its pcb is detached or extracted.
+        s.sock->Close();
+      }
     } else if (s.sock != nullptr) {
       s.sock->Close();
     }
     it = sessions_.erase(it);
   }
   libraries_.erase(lib_id);
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Instant(host_->sim(), "crash/cleanup", TraceLayer::kCore, lib_id);
+  }
 }
 
 }  // namespace psd

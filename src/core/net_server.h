@@ -18,6 +18,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <tuple>
 #include <vector>
 
 #include "src/core/proxy_protocol.h"
@@ -48,7 +49,23 @@ class NetServer {
   Port* control_port() { return &control_port_; }
   Stack* stack() { return stack_.get(); }
   SimHost* host() { return host_; }
-  void SetStageRecorder(StageRecorder* rec);
+
+  // Attaches the observability tracer to the server stack, the host kernel,
+  // the server's ports, and the proxy dispatch loop. May be null.
+  void SetTracer(Tracer* tracer);
+
+  // Registers server counters (migrations, callbacks, sessions) plus the
+  // server stack's protocol counters under "<prefix>...".
+  void ExportStats(StatsRegistry* reg, const std::string& prefix) const;
+
+  // Suppression key for tuples whose pcb is app-managed or in handover: all
+  // four endpoint fields. (A 64-bit pack of only {local port, remote port,
+  // remote addr} collided sessions differing only in local address, letting
+  // one session's erase un-suppress another's strays.)
+  static std::tuple<uint32_t, uint16_t, uint32_t, uint16_t> TupleKey(const SockAddrIn& local,
+                                                                     const SockAddrIn& remote) {
+    return {local.addr.v, local.port, remote.addr.v, remote.port};
+  }
 
   // Registers an application's protocol library: its packet delivery
   // endpoint (all of the app's sessions share it) and its metastate
@@ -61,6 +78,7 @@ class NetServer {
 
   // Diagnostics.
   size_t session_count() const { return sessions_.size(); }
+  size_t suppressed_count() const { return suppressed_.size(); }
   uint64_t migrations_out() const { return migrations_out_; }
   uint64_t migrations_in() const { return migrations_in_; }
   uint64_t arp_callbacks_sent() const { return arp_callbacks_sent_; }
@@ -125,12 +143,9 @@ class NetServer {
   std::map<uint64_t, LibraryRec> libraries_;
   uint64_t next_lib_ = 1;
   // Tuples whose pcb is currently app-managed or in handover: the server
-  // stack must not answer their strays with RST.
-  static uint64_t TupleKey(const SockAddrIn& local, const SockAddrIn& remote) {
-    return static_cast<uint64_t>(local.port) << 48 | static_cast<uint64_t>(remote.port) << 32 |
-           remote.addr.v;
-  }
-  std::set<uint64_t> suppressed_;
+  // stack must not answer their strays with RST. Keyed by TupleKey above.
+  std::set<std::tuple<uint32_t, uint16_t, uint32_t, uint16_t>> suppressed_;
+  Tracer* tracer_ = nullptr;
   std::map<uint64_t, std::unique_ptr<SelectWaiter>> select_waiters_;
   uint64_t next_select_token_ = 1;
   // Pending metastate invalidation callbacks, delivered asynchronously by a

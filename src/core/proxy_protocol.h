@@ -41,6 +41,55 @@ enum class ProxyOp : uint32_t {
   kProxyFwdBind,
 };
 
+// Stable span/diagnostic name for a proxy operation.
+inline const char* ProxyOpName(ProxyOp op) {
+  switch (op) {
+    case ProxyOp::kProxySocket:
+      return "proxy/socket";
+    case ProxyOp::kProxyBind:
+      return "proxy/bind";
+    case ProxyOp::kProxyConnect:
+      return "proxy/connect";
+    case ProxyOp::kProxyListen:
+      return "proxy/listen";
+    case ProxyOp::kProxyAccept:
+      return "proxy/accept";
+    case ProxyOp::kProxyReturn:
+      return "proxy/return";
+    case ProxyOp::kProxyDup:
+      return "proxy/dup";
+    case ProxyOp::kProxyStatus:
+      return "proxy/status";
+    case ProxyOp::kProxySelect:
+      return "proxy/select";
+    case ProxyOp::kProxyArpLookup:
+      return "proxy/arp_lookup";
+    case ProxyOp::kProxyRouteLookup:
+      return "proxy/route_lookup";
+    case ProxyOp::kProxyFwdSend:
+      return "proxy/fwd_send";
+    case ProxyOp::kProxyFwdRecv:
+      return "proxy/fwd_recv";
+    case ProxyOp::kProxyFwdClose:
+      return "proxy/fwd_close";
+    case ProxyOp::kProxyFwdShutdown:
+      return "proxy/fwd_shutdown";
+    case ProxyOp::kProxyFwdSetOpt:
+      return "proxy/fwd_setopt";
+    case ProxyOp::kProxyFwdLocalAddr:
+      return "proxy/fwd_localaddr";
+    case ProxyOp::kProxyFwdAccept:
+      return "proxy/fwd_accept";
+    case ProxyOp::kProxyFwdListen:
+      return "proxy/fwd_listen";
+    case ProxyOp::kProxyFwdConnect:
+      return "proxy/fwd_connect";
+    case ProxyOp::kProxyFwdBind:
+      return "proxy/fwd_bind";
+  }
+  return "proxy/?";
+}
+
 inline void EncodeAddr(Encoder* e, const SockAddrIn& a) {
   e->U32(a.addr.v);
   e->U16(a.port);

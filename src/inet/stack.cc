@@ -1,6 +1,7 @@
 #include "src/inet/stack.h"
 
 #include "src/base/log.h"
+#include "src/obs/stats.h"
 
 namespace psd {
 
@@ -13,7 +14,7 @@ Stack::Stack(const StackParams& params)
     : name_(params.name),
       sync_(params.sim, params.sync_pair_cost),
       env_{params.sim, params.cpu,  params.prof, params.placement,
-           &sync_,     params.probe, params.send_frame},
+           &sync_,     params.tracer, params.send_frame},
       ether_(&env_, params.mac),
       ip_(&env_, &ether_, &routes_, params.ip),
       icmp_(&env_, &ip_),
@@ -37,7 +38,7 @@ void Stack::InputFrame(const Frame& frame) {
   DomainLock lock(&sync_);
   frames_in_++;
   {
-    ProbeSpan span(env_.probe, env_.sim, Stage::kNetisrFilter);
+    ProbeSpan span(env_.tracer, env_.sim, Stage::kNetisrFilter);
     env_.Charge(env_.prof->netisr_fixed);
   }
   EtherLayer::RxFrame rx;
@@ -46,7 +47,7 @@ void Stack::InputFrame(const Frame& frame) {
     // "mbuf/queue" row; on the in-kernel stack this happens inside netisr
     // processing and the table reports it there).
     Stage stage = env_.placement == Placement::kKernel ? Stage::kNetisrFilter : Stage::kMbufQueue;
-    ProbeSpan span(env_.probe, env_.sim, stage);
+    ProbeSpan span(env_.tracer, env_.sim, stage);
     env_.Charge(env_.prof->sbqueue_fixed);
     env_.sync->ChargeSyncPair();
     if (!EtherLayer::Parse(frame, &rx)) {
@@ -64,6 +65,22 @@ void Stack::InputFrame(const Frame& frame) {
   if (timer_idle_) {
     timer_kick_.NotifyOne();
   }
+}
+
+void Stack::ExportStats(StatsRegistry* reg, const std::string& prefix) const {
+  reg->RegisterGauge(prefix + "frames_in", [this] { return frames_in_; });
+  reg->RegisterGauge(prefix + "ip.sent", [this] { return ip_.stats().sent; });
+  reg->RegisterGauge(prefix + "ip.received", [this] { return ip_.stats().received; });
+  reg->RegisterGauge(prefix + "ip.delivered", [this] { return ip_.stats().delivered; });
+  reg->RegisterGauge(prefix + "udp.sent", [this] { return udp_.stats().sent; });
+  reg->RegisterGauge(prefix + "udp.received", [this] { return udp_.stats().received; });
+  reg->RegisterGauge(prefix + "tcp.segs_sent", [this] { return tcp_.stats().segs_sent; });
+  reg->RegisterGauge(prefix + "tcp.segs_received", [this] { return tcp_.stats().segs_received; });
+  reg->RegisterGauge(prefix + "tcp.retransmits", [this] { return tcp_.stats().retransmits; });
+  reg->RegisterGauge(prefix + "tcp.rsts_sent", [this] { return tcp_.stats().rsts_sent; });
+  reg->RegisterGauge(prefix + "tcp.conns_established",
+                     [this] { return tcp_.stats().conns_established; });
+  reg->RegisterGauge(prefix + "tcp.dropped_no_pcb", [this] { return tcp_.stats().dropped_no_pcb; });
 }
 
 void Stack::Kick() {

@@ -26,12 +26,14 @@
 
 namespace psd {
 
+class StatsRegistry;
+
 struct StackParams {
   Simulator* sim = nullptr;
   HostCpu* cpu = nullptr;
   const MachineProfile* prof = nullptr;
   Placement placement = Placement::kKernel;
-  StageRecorder* probe = nullptr;
+  Tracer* tracer = nullptr;
   std::function<void(Frame)> send_frame;
   Ipv4Addr ip;
   MacAddr mac;
@@ -72,6 +74,10 @@ class Stack {
   const std::string& name() const { return name_; }
 
   uint64_t frames_in() const { return frames_in_; }
+
+  // Registers this stack's protocol counters as "<prefix>tcp.segs_sent" etc.
+  // The stack must outlive the registry's last Snapshot.
+  void ExportStats(StatsRegistry* reg, const std::string& prefix) const;
 
  private:
   void TimerThreadBody();

@@ -19,7 +19,7 @@
 #include "src/inet/addr.h"
 #include "src/mbuf/mbuf.h"
 #include "src/netsim/ether.h"
-#include "src/sim/probe.h"
+#include "src/obs/probe.h"
 #include "src/sim/simulator.h"
 
 namespace psd {
@@ -96,7 +96,7 @@ struct StackEnv {
   const MachineProfile* prof = nullptr;
   Placement placement = Placement::kKernel;
   SyncDomain* sync = nullptr;
-  StageRecorder* probe = nullptr;  // may be null
+  Tracer* tracer = nullptr;  // observability span tracer; may be null
 
   // Hands a complete Ethernet frame to the placement's transmit path
   // (in-kernel: direct device transmit; library/server: net-send syscall

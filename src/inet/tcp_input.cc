@@ -54,7 +54,7 @@ TcpPcb* TcpLayer::Demux(const SockAddrIn& local, const SockAddrIn& remote) {
 }
 
 void TcpLayer::Input(Chain seg, Ipv4Addr src, Ipv4Addr dst) {
-  ProbeSpan span(env_->probe, env_->sim, Stage::kProtoInput);
+  ProbeSpan span(env_->tracer, env_->sim, Stage::kProtoInput);
   env_->Charge(env_->prof->tcp_in_fixed);
   env_->sync->ChargeSyncPair();
   if (env_->placement == Placement::kLibrary) {

@@ -39,7 +39,7 @@ uint8_t OutFlags(TcpState s) {
 }  // namespace
 
 Result<void> TcpLayer::Output(TcpPcb* pcb) {
-  ProbeSpan span(env_->probe, env_->sim, Stage::kProtoOutput);
+  ProbeSpan span(env_->tracer, env_->sim, Stage::kProtoOutput);
   span.MarkConditional();  // committed below iff a segment is transmitted
   env_->Charge(env_->prof->tcp_out_fixed);
   env_->sync->ChargeSyncPair();

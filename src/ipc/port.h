@@ -20,6 +20,7 @@
 
 #include "src/base/time.h"
 #include "src/cost/machine_profile.h"
+#include "src/obs/trace.h"
 #include "src/sim/simulator.h"
 
 namespace psd {
@@ -88,11 +89,17 @@ class Port {
 
   uint64_t messages_sent() const { return messages_sent_; }
 
+  // Observability: Send and the post-dequeue part of Receive emit
+  // "ipc/send" / "ipc/recv" spans (the blocked wait is not a span — it is
+  // scheduling, not work). May be null.
+  void SetTracer(Tracer* tracer) { tracer_ = tracer; }
+
  private:
   Simulator* sim_;
   const MachineProfile* prof_;
   std::string name_;
   PortCosts costs_;
+  Tracer* tracer_ = nullptr;
   WaitQueue nonempty_;
   std::deque<IpcMessage> queue_;
   uint64_t messages_sent_ = 0;

@@ -3,6 +3,8 @@
 #include <cassert>
 
 #include "src/base/log.h"
+#include "src/obs/stats.h"
+#include "src/obs/trace.h"
 
 namespace psd {
 
@@ -44,9 +46,19 @@ PacketQueue* Kernel::MakeQueueEndpoint(std::string name, SimDuration signal_cost
   return queues_.back().get();
 }
 
+void Kernel::ExportStats(StatsRegistry* reg, const std::string& prefix) const {
+  reg->RegisterGauge(prefix + "rx_delivered", [this] { return rx_delivered_; });
+  reg->RegisterGauge(prefix + "rx_unmatched", [this] { return rx_unmatched_; });
+  reg->RegisterGauge(prefix + "filter_insns", [this] { return filter_insns_; });
+  reg->RegisterGauge(prefix + "demux_classifies", [this] { return demux_classifies_; });
+  reg->RegisterGauge(prefix + "rx_flow_hits", [this] { return rx_flow_hits_; });
+}
+
 void Kernel::NetSendFromUser(Frame frame) {
   SimThread* self = sim_->current_thread();
   assert(self != nullptr);
+  // Trap boundary: user -> kernel crossing for the raw packet send.
+  TraceSpan span(tracer_, sim_, "trap/net_send", TraceLayer::kKern);
   self->Charge(prof_->trap);
   // Copy from user space into a wired kernel buffer.
   Frame wired(frame.begin(), frame.end());
@@ -81,7 +93,7 @@ void Kernel::DeliverFrame() {
   }
 
   auto run_filter = [&](const Frame& f) -> FilterEngine::MatchResult {
-    ProbeSpan span(probe_, sim_, Stage::kNetisrFilter);
+    ProbeSpan span(tracer_, sim_, Stage::kNetisrFilter);
     FilterEngine::MatchResult m = engine_.Match(f.data(), f.size());
     filter_insns_ += static_cast<uint64_t>(m.insns_executed);
     demux_classifies_ += static_cast<uint64_t>(m.classify_ops);
@@ -98,7 +110,7 @@ void Kernel::DeliverFrame() {
   if (integrated) {
     FilterEngine::MatchResult m;
     {
-      ProbeSpan span(probe_, sim_, Stage::kDevIntrRead);
+      ProbeSpan span(tracer_, sim_, Stage::kDevIntrRead);
       self->Charge(prof_->intr_fixed);
     }
     {
@@ -121,7 +133,7 @@ void Kernel::DeliverFrame() {
       return;
     }
     const DeliveryEndpoint& ep = epit->second;
-    ProbeSpan span(probe_, sim_, Stage::kKernelCopyout);
+    ProbeSpan span(tracer_, sim_, Stage::kKernelCopyout);
     // Single copy: device memory straight into the destination domain.
     self->Charge(static_cast<SimDuration>(f.size()) * nic_->params().rx_read_per_byte);
     switch (ep.kind) {
@@ -145,7 +157,7 @@ void Kernel::DeliverFrame() {
   // Copy-then-filter path.
   Frame f;
   {
-    ProbeSpan span(probe_, sim_, Stage::kDevIntrRead);
+    ProbeSpan span(tracer_, sim_, Stage::kDevIntrRead);
     self->Charge(prof_->intr_fixed);
     // Copy the whole frame out of device memory into a wired kernel buffer.
     const Frame& head = nic_->RxHead();
@@ -169,7 +181,7 @@ void Kernel::DeliverFrame() {
       ep.queue->Push(std::move(f));
       break;
     case DeliverKind::kShm: {
-      ProbeSpan span(probe_, sim_, Stage::kKernelCopyout);
+      ProbeSpan span(tracer_, sim_, Stage::kKernelCopyout);
       // Kernel buffer -> shared-memory ring.
       self->Charge(static_cast<SimDuration>(f.size()) * prof_->copy_per_byte);
       Frame shared(f.begin(), f.end());
@@ -180,7 +192,7 @@ void Kernel::DeliverFrame() {
       assert(false && "unreachable: integrated mode handles kShmIpf");
       break;
     case DeliverKind::kIpc: {
-      ProbeSpan span(probe_, sim_, Stage::kKernelCopyout);
+      ProbeSpan span(tracer_, sim_, Stage::kKernelCopyout);
       IpcMessage msg;
       msg.kind = kMsgPacketDelivery;
       msg.payload = std::move(f);

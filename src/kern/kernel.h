@@ -26,10 +26,12 @@
 #include "src/ipc/port.h"
 #include "src/kern/packet_queue.h"
 #include "src/netsim/nic.h"
-#include "src/sim/probe.h"
+#include "src/obs/probe.h"
 #include "src/sim/simulator.h"
 
 namespace psd {
+
+class StatsRegistry;
 
 enum class DeliverKind { kDirect, kIpc, kShm, kShmIpf };
 
@@ -77,8 +79,15 @@ class Kernel {
   // catch-all filter pointing at it).
   PacketQueue* MakeQueueEndpoint(std::string name, SimDuration signal_cost, size_t capacity = 256);
 
-  // Per-host probe recorder (Table 4 receive-path rows). May be null.
-  void SetStageRecorder(StageRecorder* rec) { probe_ = rec; }
+  // Per-host observability tracer (Table 4 receive-path rows, trap-boundary
+  // and filter spans). May be null. Also forwarded to the filter engine.
+  void SetTracer(Tracer* tracer) {
+    tracer_ = tracer;
+    engine_.SetTracer(tracer, sim_);
+  }
+
+  // Registers delivery/demux counters as "<prefix>rx_delivered" etc.
+  void ExportStats(StatsRegistry* reg, const std::string& prefix) const;
 
   Simulator* simulator() const { return sim_; }
   HostCpu* cpu() const { return cpu_; }
@@ -100,7 +109,7 @@ class Kernel {
   Nic* nic_;
   const MachineProfile* prof_;
   std::string name_;
-  StageRecorder* probe_ = nullptr;
+  Tracer* tracer_ = nullptr;
 
   FilterEngine engine_;
   std::map<uint64_t, DeliveryEndpoint> endpoints_;

@@ -4,6 +4,7 @@
 #include "src/base/log.h"
 #include "src/netsim/nic.h"
 #include "src/netsim/segment.h"
+#include "src/obs/trace.h"
 
 namespace psd {
 
@@ -12,9 +13,15 @@ void EthernetSegment::Transmit(Nic* src, Frame frame, std::function<void()> done
   SimTime end = start + WireTime(frame.size());
   medium_free_at_ = end;
   frames_carried_++;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->Emit(sim_, "wire/transmit", TraceLayer::kWire, /*stage=*/-1, start, end - start);
+  }
 
   if (faults_.loss_rate > 0 && rng_.Chance(faults_.loss_rate)) {
     frames_dropped_++;
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->Instant(sim_, "wire/drop", TraceLayer::kWire);
+    }
     if (done) {
       sim_->Schedule(end, std::move(done));
     }

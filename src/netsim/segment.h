@@ -17,6 +17,7 @@
 namespace psd {
 
 class Nic;
+class Tracer;
 
 struct WireParams {
   SimDuration per_byte = Nanos(800);  // 10 Mb/s
@@ -50,6 +51,10 @@ class EthernetSegment {
     rng_ = Rng(plan.seed);
   }
 
+  // Emits a wire-layer span per transmitted frame (and an instant per
+  // injected drop) so traces show network transit alongside host work.
+  void SetTracer(Tracer* tracer) { tracer_ = tracer; }
+
   // Serialization time for a frame of `payload_len` bytes (incl. header).
   SimDuration WireTime(size_t frame_len) const {
     int on_wire = static_cast<int>(frame_len) + params_.fcs_bytes;
@@ -68,6 +73,7 @@ class EthernetSegment {
   Simulator* sim_;
   WireParams params_;
   FaultPlan faults_;
+  Tracer* tracer_ = nullptr;
   Rng rng_;
   std::vector<Nic*> nics_;
   SimTime medium_free_at_ = 0;

@@ -1,0 +1,157 @@
+#include "src/obs/chrome_trace.h"
+
+#include <cstdio>
+
+namespace psd {
+
+namespace {
+
+// Escapes a string for embedding in a JSON string literal.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Virtual nanoseconds -> trace-event microseconds (fractional .001 steps).
+double ToTraceTs(int64_t ns) { return static_cast<double>(ns) / 1000.0; }
+
+}  // namespace
+
+void ChromeTraceSink::Resolve(SimThread* thread, int* pid, int* tid) {
+  std::string host = "sim";
+  std::string tname = "events";
+  const void* key = thread;
+  if (thread != nullptr) {
+    tname = thread->name();
+    auto slash = tname.find('/');
+    if (slash != std::string::npos) {
+      host = tname.substr(0, slash);
+    }
+  }
+  auto [pit, pnew] = pids_.try_emplace(host, static_cast<int>(pid_names_.size()) + 1);
+  if (pnew) {
+    pid_names_.push_back(host);
+  }
+  *pid = pit->second;
+  auto [tit, tnew] = tids_.try_emplace(key, static_cast<int>(tid_names_.size()) + 1);
+  if (tnew) {
+    tid_names_.emplace_back(*pid, tname);
+  }
+  *tid = tit->second;
+}
+
+void ChromeTraceSink::OnSpan(const TraceSpanData& span) {
+  Event e;
+  e.name = span.name;
+  e.layer = span.layer;
+  e.stage = span.stage;
+  e.sid = span.sid;
+  e.begin = span.begin;
+  e.dur = span.dur;
+  e.child = span.child;
+  e.instant = false;
+  Resolve(span.thread, &e.pid, &e.tid);
+  layer_counts_[static_cast<int>(span.layer)]++;
+  events_.push_back(std::move(e));
+}
+
+void ChromeTraceSink::OnInstant(const char* name, TraceLayer layer, SimTime at, SimThread* thread,
+                                uint64_t sid) {
+  Event e;
+  e.name = name;
+  e.layer = layer;
+  e.stage = -1;
+  e.sid = sid;
+  e.begin = at;
+  e.dur = 0;
+  e.child = 0;
+  e.instant = true;
+  Resolve(thread, &e.pid, &e.tid);
+  layer_counts_[static_cast<int>(layer)]++;
+  events_.push_back(std::move(e));
+}
+
+void ChromeTraceSink::WriteJson(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+  };
+  // Metadata: process and thread names.
+  for (size_t i = 0; i < pid_names_.size(); ++i) {
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << (i + 1)
+       << ",\"tid\":0,\"args\":{\"name\":\"" << JsonEscape(pid_names_[i]) << "\"}}";
+  }
+  for (size_t i = 0; i < tid_names_.size(); ++i) {
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << tid_names_[i].first
+       << ",\"tid\":" << (i + 1) << ",\"args\":{\"name\":\"" << JsonEscape(tid_names_[i].second)
+       << "\"}}";
+  }
+  char ts[64];
+  for (const Event& e : events_) {
+    sep();
+    std::snprintf(ts, sizeof(ts), "%.3f", ToTraceTs(e.begin));
+    os << "{\"name\":\"" << JsonEscape(e.name) << "\",\"cat\":\"" << TraceLayerName(e.layer)
+       << "\",\"ph\":\"" << (e.instant ? "i" : "X") << "\",\"ts\":" << ts;
+    if (e.instant) {
+      os << ",\"s\":\"t\"";
+    } else {
+      std::snprintf(ts, sizeof(ts), "%.3f", ToTraceTs(e.dur));
+      os << ",\"dur\":" << ts;
+    }
+    os << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid << ",\"args\":{";
+    bool farg = true;
+    if (e.sid != 0) {
+      os << "\"sid\":" << e.sid;
+      farg = false;
+    }
+    if (e.stage >= 0) {
+      if (!farg) {
+        os << ",";
+      }
+      os << "\"stage\":" << e.stage;
+      farg = false;
+    }
+    if (!e.instant && e.child > 0) {
+      if (!farg) {
+        os << ",";
+      }
+      std::snprintf(ts, sizeof(ts), "%.3f", ToTraceTs(e.child));
+      os << "\"child_us\":" << ts;
+    }
+    os << "}}";
+  }
+  os << "]}\n";
+}
+
+}  // namespace psd

@@ -1,0 +1,65 @@
+// chrome://tracing exporter.
+//
+// A ChromeTraceSink keeps every committed span and instant, then writes the
+// Trace Event Format JSON that chrome://tracing / Perfetto load directly.
+// Simulated hosts become processes (pid) and simulated threads become
+// threads (tid), so a protolat run renders as two swimlane groups with the
+// send path, wire transit and receive path laid end to end in virtual time.
+#ifndef PSD_SRC_OBS_CHROME_TRACE_H_
+#define PSD_SRC_OBS_CHROME_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/obs/trace.h"
+
+namespace psd {
+
+class ChromeTraceSink : public TraceSink {
+ public:
+  void OnSpan(const TraceSpanData& span) override;
+  void OnInstant(const char* name, TraceLayer layer, SimTime at, SimThread* thread,
+                 uint64_t sid) override;
+
+  // Writes the complete trace as chrome://tracing JSON.
+  void WriteJson(std::ostream& os) const;
+
+  size_t span_count() const { return events_.size(); }
+
+  // True if at least one span was recorded for `layer`.
+  bool HasLayer(TraceLayer layer) const {
+    return layer_counts_[static_cast<int>(layer)] > 0;
+  }
+
+ private:
+  struct Event {
+    std::string name;  // copied: span names are static, but instants may add detail later
+    TraceLayer layer;
+    int stage;
+    uint64_t sid;
+    SimTime begin;
+    SimDuration dur;
+    SimDuration child;
+    int pid;
+    int tid;
+    bool instant;
+  };
+
+  // Resolves (and interns) pid/tid for a thread. Host = thread-name prefix
+  // before '/'; threads with no registered host go to process "sim".
+  void Resolve(SimThread* thread, int* pid, int* tid);
+
+  std::vector<Event> events_;
+  std::map<std::string, int> pids_;          // host name -> pid
+  std::map<const void*, int> tids_;          // SimThread* -> tid
+  std::vector<std::pair<int, std::string>> tid_names_;  // (pid, thread name) by tid
+  std::vector<std::string> pid_names_;       // host name by pid
+  uint64_t layer_counts_[static_cast<int>(TraceLayer::kNumLayers)] = {};
+};
+
+}  // namespace psd
+
+#endif  // PSD_SRC_OBS_CHROME_TRACE_H_

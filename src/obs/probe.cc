@@ -1,6 +1,4 @@
-#include "src/sim/probe.h"
-
-#include <cassert>
+#include "src/obs/probe.h"
 
 namespace psd {
 
@@ -38,33 +36,30 @@ const char* StageName(Stage s) {
   return "?";
 }
 
-void StageRecorder::Reset() {
-  cells_ = {};
-  open_.clear();
-}
-
-void StageRecorder::BeginSpan(Simulator* sim, Stage s) {
-  const void* key = sim->current_thread();
-  open_[key].push_back(Open{s, sim->Now(), 0});
-}
-
-void StageRecorder::EndSpan(Simulator* sim, Stage s, bool commit) {
-  const void* key = sim->current_thread();
-  auto it = open_.find(key);
-  assert(it != open_.end() && !it->second.empty());
-  Open o = it->second.back();
-  it->second.pop_back();
-  assert(o.stage == s);
-  (void)s;
-  SimDuration elapsed = sim->Now() - o.start;
-  if (commit) {
-    Add(o.stage, elapsed - o.excluded);
+TraceLayer StageLayer(Stage s) {
+  switch (s) {
+    case Stage::kEntryCopyin:
+    case Stage::kWakeupUser:
+    case Stage::kCopyoutExit:
+      return TraceLayer::kSock;
+    case Stage::kProtoOutput:
+    case Stage::kIpOutput:
+    case Stage::kEtherOutput:
+    case Stage::kMbufQueue:
+    case Stage::kIpIntr:
+    case Stage::kProtoInput:
+      return TraceLayer::kInet;
+    case Stage::kDevIntrRead:
+    case Stage::kKernelCopyout:
+      return TraceLayer::kKern;
+    case Stage::kNetisrFilter:
+      return TraceLayer::kFilter;
+    case Stage::kNetworkTransit:
+      return TraceLayer::kWire;
+    case Stage::kNumStages:
+      break;
   }
-  if (!it->second.empty()) {
-    it->second.back().excluded += elapsed;
-  } else {
-    open_.erase(it);
-  }
+  return TraceLayer::kKern;
 }
 
 }  // namespace psd

@@ -1,0 +1,27 @@
+#include "src/obs/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace psd {
+
+std::vector<StatsRegistry::Entry> StatsRegistry::Snapshot() const {
+  std::vector<Entry> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, fn] : gauges_) {
+    out.push_back(Entry{name, fn()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Entry& a, const Entry& b) { return a.name < b.name; });
+  return out;
+}
+
+std::string StatsRegistry::Dump() const {
+  std::ostringstream os;
+  for (const Entry& e : Snapshot()) {
+    os << e.name << " " << e.value << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace psd

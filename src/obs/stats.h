@@ -1,0 +1,50 @@
+// Unified stats registry.
+//
+// Every subsystem keeps its own counters (kernel delivery stats, filter flow
+// hits, segment frames carried/dropped, NetServer migrations/callbacks...).
+// The registry puts them behind one named-counter interface so tools can
+// snapshot the whole system without knowing each component's accessors.
+//
+// Counters register as gauges: a name plus a callback reading the live
+// value. Components expose an ExportStats(StatsRegistry*, prefix) method;
+// World::ExportStats walks every node and names entries
+// "<host>.<component>.<counter>".
+#ifndef PSD_SRC_OBS_STATS_H_
+#define PSD_SRC_OBS_STATS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace psd {
+
+class StatsRegistry {
+ public:
+  struct Entry {
+    std::string name;
+    uint64_t value = 0;
+  };
+
+  // Registers a named counter read through `fn` at Snapshot time. The
+  // callback must outlive the registry's last Snapshot call.
+  void RegisterGauge(std::string name, std::function<uint64_t()> fn) {
+    gauges_.emplace_back(std::move(name), std::move(fn));
+  }
+
+  // Reads every registered counter. Entries are sorted by name.
+  std::vector<Entry> Snapshot() const;
+
+  // Human-readable dump of a Snapshot, one "name value" line per counter.
+  std::string Dump() const;
+
+  size_t size() const { return gauges_.size(); }
+
+ private:
+  std::vector<std::pair<std::string, std::function<uint64_t()>>> gauges_;
+};
+
+}  // namespace psd
+
+#endif  // PSD_SRC_OBS_STATS_H_

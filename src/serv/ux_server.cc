@@ -64,9 +64,12 @@ UxServer::~UxServer() {
   }
 }
 
-void UxServer::SetStageRecorder(StageRecorder* rec) {
-  stack_->env()->probe = rec;
-  host_->kernel()->SetStageRecorder(rec);
+void UxServer::SetTracer(Tracer* tracer) {
+  tracer_ = tracer;
+  stack_->env()->tracer = tracer;
+  host_->kernel()->SetTracer(tracer);
+  request_port_.SetTracer(tracer);
+  packet_port_.SetTracer(tracer);
 }
 
 void UxServer::InputBody() {
@@ -100,6 +103,40 @@ Result<Socket*> UxServer::Lookup(uint64_t id) {
   return it->second.get();
 }
 
+namespace {
+const char* ServOpName(ServOp op) {
+  switch (op) {
+    case ServOp::kSocket:
+      return "ux/socket";
+    case ServOp::kBind:
+      return "ux/bind";
+    case ServOp::kListen:
+      return "ux/listen";
+    case ServOp::kAccept:
+      return "ux/accept";
+    case ServOp::kConnect:
+      return "ux/connect";
+    case ServOp::kSend:
+      return "ux/send";
+    case ServOp::kRecv:
+      return "ux/recv";
+    case ServOp::kRecvChain:
+      return "ux/recv_chain";
+    case ServOp::kSetOpt:
+      return "ux/setopt";
+    case ServOp::kShutdown:
+      return "ux/shutdown";
+    case ServOp::kClose:
+      return "ux/close";
+    case ServOp::kSelect:
+      return "ux/select";
+    case ServOp::kLocalAddr:
+      return "ux/localaddr";
+  }
+  return "ux/?";
+}
+}  // namespace
+
 IpcMessage UxServer::Handle(const IpcMessage& req) {
   IpcMessage reply;
   auto fail = [&reply](Err e) {
@@ -108,6 +145,8 @@ IpcMessage UxServer::Handle(const IpcMessage& req) {
   };
   ServOp op = static_cast<ServOp>(req.kind);
   uint64_t id = req.arg[1];
+  // One span per socket RPC handled by the server task.
+  TraceSpan span(tracer_, host_->sim(), ServOpName(op), TraceLayer::kServ, id);
 
   switch (op) {
     case ServOp::kSocket: {
@@ -348,12 +387,13 @@ Result<size_t> UxServerNode::Send(int fd, const uint8_t* data, size_t len, const
   IpcMessage rep = Call(ServOp::kSend, fd, std::move(payload), a2, a3);
   // Attribute the RPC request leg to Table 4's entry/copyin row (the
   // server-side socket layer records its own share via its span).
-  StageRecorder* probe = server_->stack()->env()->probe;
-  if (probe != nullptr) {
+  Tracer* tracer = server_->stack()->env()->tracer;
+  if (tracer != nullptr && tracer->enabled()) {
     const MachineProfile* p = host_->prof();
-    probe->Add(Stage::kEntryCopyin,
-               p->trap + p->ipc_fixed + p->wakeup_cross +
-                   3 * static_cast<SimDuration>(len) * p->ipc_per_byte);
+    SimDuration cost = p->trap + p->ipc_fixed + p->wakeup_cross +
+                       3 * static_cast<SimDuration>(len) * p->ipc_per_byte;
+    tracer->Emit(host_->sim(), StageName(Stage::kEntryCopyin), StageLayer(Stage::kEntryCopyin),
+                 static_cast<int>(Stage::kEntryCopyin), host_->sim()->Now() - cost, cost);
   }
   if (rep.arg[0] != 0) {
     return static_cast<Err>(rep.arg[0]);
@@ -371,12 +411,13 @@ Result<size_t> UxServerNode::Recv(int fd, uint8_t* out, size_t len, SockAddrIn* 
   host_->sim()->current_thread()->Charge(static_cast<SimDuration>(n) *
                                          host_->prof()->ipc_per_byte);
   // Attribute the RPC reply leg to Table 4's copyout/exit row.
-  StageRecorder* probe = server_->stack()->env()->probe;
-  if (probe != nullptr) {
+  Tracer* tracer = server_->stack()->env()->tracer;
+  if (tracer != nullptr && tracer->enabled()) {
     const MachineProfile* p = host_->prof();
-    probe->Add(Stage::kCopyoutExit,
-               p->ipc_fixed + p->wakeup_cross +
-                   3 * static_cast<SimDuration>(n) * p->ipc_per_byte);
+    SimDuration cost = p->ipc_fixed + p->wakeup_cross +
+                       3 * static_cast<SimDuration>(n) * p->ipc_per_byte;
+    tracer->Emit(host_->sim(), StageName(Stage::kCopyoutExit), StageLayer(Stage::kCopyoutExit),
+                 static_cast<int>(Stage::kCopyoutExit), host_->sim()->Now() - cost, cost);
   }
   if (n > 0) {
     std::memcpy(out, rep.payload.data(), n);

@@ -48,7 +48,10 @@ class UxServer {
   Port* request_port() { return &request_port_; }
   Stack* stack() { return stack_.get(); }
   SimHost* host() { return host_; }
-  void SetStageRecorder(StageRecorder* rec);
+
+  // Attaches the observability tracer to the server stack, host kernel,
+  // ports, and the RPC dispatch loop. May be null.
+  void SetTracer(Tracer* tracer);
 
  private:
   void InputBody();
@@ -58,6 +61,7 @@ class UxServer {
 
   SimHost* host_;
   std::unique_ptr<Stack> stack_;
+  Tracer* tracer_ = nullptr;
   Port request_port_;
   Port packet_port_;
   std::vector<SimThread*> threads_;

@@ -1,5 +1,7 @@
 #include "src/testbed/world.h"
 
+#include "src/obs/stats.h"
+
 namespace psd {
 
 const char* ConfigName(Config c) {
@@ -69,20 +71,44 @@ World::~World() {
   }
 }
 
-void World::AttachProbe(int i, StageRecorder* rec) {
+void World::AttachTracer(int i, Tracer* tracer) {
+  wire_.SetTracer(tracer);
   Node* n = nodes_[i].get();
   if (n->kernel_node != nullptr) {
-    n->kernel_node->SetStageRecorder(rec);
+    n->kernel_node->SetTracer(tracer);
   }
   if (n->ux != nullptr) {
-    n->ux->SetStageRecorder(rec);
+    n->ux->SetTracer(tracer);
   }
   if (n->ns != nullptr) {
-    n->ns->SetStageRecorder(rec);
+    n->ns->SetTracer(tracer);
   }
   if (n->lib != nullptr) {
-    n->lib->SetStageRecorder(rec);
+    n->lib->SetTracer(tracer);
   }
+}
+
+void World::ExportStats(int i, StatsRegistry* reg) {
+  Node* n = nodes_[i].get();
+  std::string prefix = n->host->name() + ".";
+  n->host->kernel()->ExportStats(reg, prefix + "kern.");
+  if (n->kernel_node != nullptr) {
+    n->kernel_node->stack()->ExportStats(reg, prefix + "stack.");
+  }
+  if (n->ux != nullptr) {
+    n->ux->stack()->ExportStats(reg, prefix + "ux.stack.");
+  }
+  if (n->ns != nullptr) {
+    n->ns->ExportStats(reg, prefix + "ns.");
+  }
+  if (n->lib != nullptr) {
+    n->lib->ExportStats(reg, prefix + "lib.");
+  }
+}
+
+void World::ExportWireStats(StatsRegistry* reg) {
+  reg->RegisterGauge("wire.frames_carried", [this] { return wire_.frames_carried(); });
+  reg->RegisterGauge("wire.frames_dropped", [this] { return wire_.frames_dropped(); });
 }
 
 ProtocolLibrary* World::AddLibrary(int i, const std::string& name) {

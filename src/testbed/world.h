@@ -63,8 +63,19 @@ class World {
     return t;
   }
 
-  // Attaches a Table 4 stage recorder to every component on host `i`.
-  void AttachProbe(int i, StageRecorder* rec);
+  // Attaches the observability tracer to every component on host `i`
+  // (stack, kernel, ports, servers). Spans from all layers flow to the
+  // tracer's sinks; attach a StageRecorder sink for Table 4, a
+  // ChromeTraceSink for trace export.
+  void AttachTracer(int i, Tracer* tracer);
+
+  // Registers every component's counters on host `i` under "<host>." names
+  // (kernel delivery/demux, per-stack protocol stats, server/library
+  // counters). Call once per host; combine with ExportWireStats.
+  void ExportStats(int i, StatsRegistry* reg);
+
+  // Registers segment-level counters ("wire.frames_carried" etc.).
+  void ExportWireStats(StatsRegistry* reg);
 
   // Creates an extra library application on host `i` (library configs
   // only), e.g. the child of a fork or a second process sharing the host.

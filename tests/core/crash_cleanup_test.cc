@@ -1,0 +1,87 @@
+// Crash-cleanup hardening (§3.2: "The operating system ... can detect the
+// death of processes ... abort outstanding connections by sending reset
+// messages"): the suppression-set key must cover the full 4-tuple, and
+// peers of a crashed application must observe a reset even when the wire
+// is lossy.
+#include <gtest/gtest.h>
+
+#include "src/testbed/world.h"
+
+namespace psd {
+namespace {
+
+TEST(NetServerTupleKey, DistinguishesSessionsDifferingOnlyInLocalAddr) {
+  // Regression: the old key packed (local.port, remote.port, remote.addr)
+  // into 64 bits and dropped local.addr, so two sessions that differed only
+  // in their local address collided — one session's handover could erase
+  // the other's RST suppression.
+  SockAddrIn local_a{Ipv4Addr{0x0a000001}, 7000};
+  SockAddrIn local_b{Ipv4Addr{0x0a000002}, 7000};
+  SockAddrIn remote{Ipv4Addr{0x0a0000ff}, 9000};
+  EXPECT_NE(NetServer::TupleKey(local_a, remote), NetServer::TupleKey(local_b, remote));
+  EXPECT_EQ(NetServer::TupleKey(local_a, remote), NetServer::TupleKey(local_a, remote));
+  // The remaining fields still participate.
+  SockAddrIn remote2{Ipv4Addr{0x0a0000ff}, 9001};
+  EXPECT_NE(NetServer::TupleKey(local_a, remote), NetServer::TupleKey(local_a, remote2));
+}
+
+TEST(CrashCleanup, PeerSeesResetDespiteWireLoss) {
+  World w(Config::kLibraryShmIpf, MachineProfile::DecStation5000());
+  bool peer_reset = false;
+  bool accepted = false;
+
+  w.SpawnApp(1, "peer", [&] {
+    SocketApi* api = w.api(1);
+    int lfd = *api->CreateSocket(IpProto::kTcp);
+    api->Bind(lfd, SockAddrIn{Ipv4Addr::Any(), 5001});
+    api->Listen(lfd, 2);
+    Result<int> cfd = api->Accept(lfd, nullptr);
+    if (!cfd.ok()) {
+      return;
+    }
+    accepted = true;
+    // Keep talking to the (soon-dead) client: every send the crashed side
+    // cannot ack is retransmitted until the server's reset gets through.
+    uint8_t buf[16] = {};
+    for (int i = 0; i < 600; i++) {
+      Result<size_t> n = api->Send(*cfd, buf, sizeof(buf), nullptr);
+      if (!n.ok()) {
+        peer_reset = n.error() == Err::kConnReset || n.error() == Err::kConnAborted;
+        break;
+      }
+      w.sim().current_thread()->SleepFor(Millis(100));
+    }
+    api->Close(*cfd);
+    api->Close(lfd);
+  });
+
+  w.SpawnApp(0, "doomed", [&] {
+    LibraryNode* node = w.library_node(0);
+    w.sim().current_thread()->SleepFor(Millis(10));
+    int fd = *node->CreateSocket(IpProto::kTcp);
+    ASSERT_TRUE(node->Connect(fd, SockAddrIn{w.addr(1), 5001}).ok());
+    // Dies without closing anything.
+  });
+
+  w.sim().RunFor(Seconds(1));
+  ASSERT_TRUE(accepted);
+
+  // Lossy wire from here on: the server's best-effort RST may be dropped,
+  // but the peer's retransmissions keep hitting the (now pcb-less) server
+  // stack, which must answer them with RST — possible only because crash
+  // cleanup also removed the session's RST-suppression entry.
+  FaultPlan faults;
+  faults.loss_rate = 0.3;
+  faults.seed = 7;
+  w.wire().SetFaults(faults);
+
+  w.library(0)->SimulateCrash();
+  w.sim().RunFor(Seconds(120));
+
+  EXPECT_TRUE(peer_reset) << "peer never observed the reset";
+  EXPECT_EQ(w.net_server(0)->session_count(), 0u);
+  EXPECT_EQ(w.net_server(0)->suppressed_count(), 0u);
+}
+
+}  // namespace
+}  // namespace psd

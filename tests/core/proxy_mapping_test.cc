@@ -209,6 +209,10 @@ TEST_F(ProxyTest, CrashCleanupRemovesFiltersAndSessions) {
   // outstanding connections by sending reset messages" (3.2).
   EXPECT_EQ(w.net_server(0)->session_count(), 0u);
   EXPECT_GE(w.net_server(0)->stack()->tcp().stats().rsts_sent, 1u);
+  // Suppression entries must not outlive their sessions: a leaked entry
+  // would make the server stack silently eat the peer's retransmits
+  // forever instead of answering them with RST.
+  EXPECT_EQ(w.net_server(0)->suppressed_count(), 0u);
 }
 
 TEST_F(ProxyTest, MetastateInvalidationReachesCaches) {

@@ -2,7 +2,7 @@
 
 #include <vector>
 
-#include "src/sim/probe.h"
+#include "src/obs/probe.h"
 #include "src/sim/simulator.h"
 
 namespace psd {
@@ -220,12 +220,14 @@ TEST(Simulator, DeterministicAcrossRuns) {
 TEST(Probe, NestedSpansExcludeChildren) {
   Simulator sim;
   HostCpu cpu;
+  Tracer tracer;
   StageRecorder rec;
+  tracer.AddSink(&rec);
   sim.Spawn("t", &cpu, [&] {
-    ProbeSpan outer(&rec, &sim, Stage::kEntryCopyin);
+    ProbeSpan outer(&tracer, &sim, Stage::kEntryCopyin);
     sim.current_thread()->Charge(Micros(10));
     {
-      ProbeSpan inner(&rec, &sim, Stage::kProtoOutput);
+      ProbeSpan inner(&tracer, &sim, Stage::kProtoOutput);
       sim.current_thread()->Charge(Micros(25));
     }
     sim.current_thread()->Charge(Micros(5));
@@ -238,15 +240,17 @@ TEST(Probe, NestedSpansExcludeChildren) {
 TEST(Probe, ConditionalSpanNotRecordedUnlessCommitted) {
   Simulator sim;
   HostCpu cpu;
+  Tracer tracer;
   StageRecorder rec;
+  tracer.AddSink(&rec);
   sim.Spawn("t", &cpu, [&] {
     {
-      ProbeSpan s(&rec, &sim, Stage::kProtoOutput);
+      ProbeSpan s(&tracer, &sim, Stage::kProtoOutput);
       s.MarkConditional();
       sim.current_thread()->Charge(Micros(10));
     }
     {
-      ProbeSpan s(&rec, &sim, Stage::kProtoOutput);
+      ProbeSpan s(&tracer, &sim, Stage::kProtoOutput);
       s.MarkConditional();
       sim.current_thread()->Charge(Micros(20));
       s.Commit();
