@@ -9,12 +9,13 @@
 //     and the cost of a cold send (cache miss -> server RPC) vs warm.
 #include <cstdio>
 
+#include "bench/common/bench_json.h"
 #include "bench/common/workloads.h"
 
 namespace psd {
 namespace {
 
-void AblateSync() {
+void AblateSync(BenchJson* out) {
   std::printf("-- Ablation 1: synchronization provider cost (library placement) --\n");
   std::printf("The stack charges one 'pair' per internal spl/lock point; the placements\n");
   std::printf("differ only in the pair cost (hw spl 1us / lib locks 3us / emulated 70us).\n\n");
@@ -39,11 +40,17 @@ void AblateSync() {
     opt.proto = IpProto::kUdp;
     double udp = RunProtolat(Config::kLibraryShmIpf, prof, opt);
     std::printf("%-28s %14.2f %14.2f\n", c.name, tcp, udp);
+    BenchJson::Obj& row = out->AddResult();
+    row.Set("section", "sync_provider");
+    row.Set("provider", c.name);
+    row.Set("pair_cost_us", ToMicros(c.cost));
+    row.Set("tcp_1b_rtt_ms", tcp);
+    row.Set("udp_1b_rtt_ms", udp);
   }
   std::printf("\n");
 }
 
-void AblateBatching() {
+void AblateBatching(BenchJson* out) {
   std::printf("-- Ablation 2: shared-memory wakeup batching at throughput --\n");
   std::printf("(\"the scheduling overhead of packet delivery is amortized over multiple\n");
   std::printf("packets\", paper 4.1; packets/signal > 1 is the amortization)\n\n");
@@ -59,11 +66,18 @@ void AblateBatching() {
     double batch = r.wakeups > 0 ? static_cast<double>(r.packets) / r.wakeups : 0;
     std::printf("%-18s %12.0f %12lu %12lu %14.2f\n", ConfigName(c), r.kb_per_sec, r.packets,
                 r.wakeups, batch);
+    BenchJson::Obj& row = out->AddResult();
+    row.Set("section", "shm_batching");
+    row.Set("config", ConfigName(c));
+    row.Set("kb_per_sec", r.kb_per_sec);
+    row.Set("packets", r.packets);
+    row.Set("signals", r.wakeups);
+    row.Set("pkts_per_signal", batch);
   }
   std::printf("\n");
 }
 
-void AblateMetastate() {
+void AblateMetastate(BenchJson* out) {
   std::printf("-- Ablation 3: metastate caching (ARP/routes, paper 3.3) --\n");
   std::printf("Cold sends RPC the OS server for route+ARP; warm sends hit the library's\n");
   std::printf("cache. The cache turns per-packet server interaction into none.\n\n");
@@ -104,6 +118,13 @@ void AblateMetastate() {
     std::printf("ARP cache hits/misses:      %lu/%lu, invalidation callbacks: %lu\n",
                 w.library(0)->arp_cache_hits(), w.library(0)->arp_cache_misses(),
                 w.library(0)->invalidations());
+    BenchJson::Obj& row = out->AddResult();
+    row.Set("section", "metastate");
+    row.Set("cold_send_us", ToMicros(cold_cost));
+    row.Set("warm_send_us", ToMicros(warm_cost));
+    row.Set("arp_cache_hits", w.library(0)->arp_cache_hits());
+    row.Set("arp_cache_misses", w.library(0)->arp_cache_misses());
+    row.Set("invalidations", w.library(0)->invalidations());
   }
   std::printf("\n");
 }
@@ -112,8 +133,11 @@ void AblateMetastate() {
 }  // namespace psd
 
 int main() {
-  psd::AblateSync();
-  psd::AblateBatching();
-  psd::AblateMetastate();
+  using namespace psd;
+  BenchJson out("ablations", MachineProfile::DecStation5000().name);
+  AblateSync(&out);
+  AblateBatching(&out);
+  AblateMetastate(&out);
+  out.WriteFile();
   return 0;
 }

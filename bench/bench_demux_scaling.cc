@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/common/bench_json.h"
 #include "src/base/bytes.h"
 #include "src/cost/machine_profile.h"
 #include "src/filter/session_filter.h"
@@ -141,24 +142,21 @@ int main() {
   std::printf("linear  cost 1->4096 sessions: %.0fx (%s >= 100x)\n", lin_ratio,
               grows ? "grows" : "does NOT grow");
 
-  FILE* json = std::fopen("BENCH_demux.json", "w");
-  if (json != nullptr) {
-    std::fprintf(json, "{\"bench\":\"demux_scaling\",\"profile\":\"%s\",\n", prof.name.c_str());
-    std::fprintf(json, " \"indexed_cost_ratio\":%.3f,\"linear_cost_ratio\":%.3f,\n", idx_ratio,
-                 lin_ratio);
-    std::fprintf(json, " \"results\":[\n");
-    for (size_t i = 0; i < rows.size(); i++) {
-      const Row& r = rows[i];
-      std::fprintf(json,
-                   "  {\"sessions\":%d,\"mode\":\"%s\",\"virtual_ns_per_pkt\":%.0f,"
-                   "\"wall_ns_per_pkt\":%.1f,\"programs_run\":%d,\"insns\":%d,"
-                   "\"classify_ops\":%d}%s\n",
-                   r.sessions, r.mode, r.virtual_ns, r.wall_ns, r.programs_run, r.insns,
-                   r.classify_ops, i + 1 < rows.size() ? "," : "");
-    }
-    std::fprintf(json, " ]}\n");
-    std::fclose(json);
-    std::printf("\nwrote BENCH_demux.json\n");
+  BenchJson out("demux", prof.name);
+  out.summary().Set("indexed_cost_ratio", idx_ratio);
+  out.summary().Set("linear_cost_ratio", lin_ratio);
+  out.summary().Set("indexed_flat", flat);
+  out.summary().Set("linear_grows", grows);
+  for (const Row& r : rows) {
+    BenchJson::Obj& row = out.AddResult();
+    row.Set("sessions", r.sessions);
+    row.Set("mode", r.mode);
+    row.Set("virtual_ns_per_pkt", r.virtual_ns);
+    row.Set("wall_ns_per_pkt", r.wall_ns);
+    row.Set("programs_run", r.programs_run);
+    row.Set("insns", r.insns);
+    row.Set("classify_ops", r.classify_ops);
   }
+  out.WriteFile();
   return flat && grows ? 0 : 1;
 }

@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <map>
 
+#include "bench/common/bench_json.h"
 #include "bench/common/table_printer.h"
 #include "bench/common/workloads.h"
 
@@ -62,6 +63,7 @@ int main() {
                             Config::kLibraryShm, Config::kLibraryShmIpf};
 
   std::map<Config, double> throughput;
+  BenchJson out("table2_decstation", prof.name);
 
   std::printf("%-18s %-16s %-10s\n", "Configuration", "Thrpt KB/s", "RcvBuf KB");
   PrintRule(48);
@@ -74,6 +76,12 @@ int main() {
     std::printf("%-18s %-16s %.0f (%.0f)\n", ConfigName(c),
                 Cell(sweep.best.kb_per_sec, paper.throughput, "%.0f").c_str(),
                 static_cast<double>(sweep.best_rcvbuf) / 1024, paper.rcvbuf_kb);
+    BenchJson::Obj& row = out.AddResult();
+    row.Set("section", "throughput");
+    row.Set("config", ConfigName(c));
+    row.Set("kb_per_sec", sweep.best.kb_per_sec);
+    row.Set("paper_kb_per_sec", paper.throughput);
+    row.Set("rcvbuf_kb", static_cast<double>(sweep.best_rcvbuf) / 1024);
   }
 
   std::printf("\nTCP round-trip latency (ms)\n");
@@ -93,6 +101,12 @@ int main() {
       opt.trials = trials;
       double ms = RunProtolat(c, prof, opt);
       std::printf(" %12s", Cell(ms, paper.tcp[i]).c_str());
+      BenchJson::Obj& row = out.AddResult();
+      row.Set("section", "tcp_latency");
+      row.Set("config", ConfigName(c));
+      row.Set("msg_size", static_cast<uint64_t>(kTcpSizes[i]));
+      row.Set("rtt_ms", ms);
+      row.Set("paper_rtt_ms", paper.tcp[i]);
     }
     std::printf("\n");
   }
@@ -114,6 +128,12 @@ int main() {
       opt.trials = trials;
       double ms = RunProtolat(c, prof, opt);
       std::printf(" %12s", Cell(ms, paper.udp[i]).c_str());
+      BenchJson::Obj& row = out.AddResult();
+      row.Set("section", "udp_latency");
+      row.Set("config", ConfigName(c));
+      row.Set("msg_size", static_cast<uint64_t>(kUdpSizes[i]));
+      row.Set("rtt_ms", ms);
+      row.Set("paper_rtt_ms", paper.udp[i]);
     }
     std::printf("\n");
   }
@@ -128,5 +148,15 @@ int main() {
               throughput[Config::kLibraryShmIpf] / throughput[Config::kInKernel]);
   std::printf("  Server / In-Kernel:                 %.2f (paper: ~0.69)\n",
               throughput[Config::kServer] / throughput[Config::kInKernel]);
+
+  out.summary().Set("lib_ipc_over_kernel",
+                    throughput[Config::kLibraryIpc] / throughput[Config::kInKernel]);
+  out.summary().Set("lib_shm_over_lib_ipc",
+                    throughput[Config::kLibraryShm] / throughput[Config::kLibraryIpc]);
+  out.summary().Set("lib_shmipf_over_kernel",
+                    throughput[Config::kLibraryShmIpf] / throughput[Config::kInKernel]);
+  out.summary().Set("server_over_kernel",
+                    throughput[Config::kServer] / throughput[Config::kInKernel]);
+  out.WriteFile();
   return 0;
 }

@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <map>
 
+#include "bench/common/bench_json.h"
 #include "bench/common/table_printer.h"
 #include "bench/common/workloads.h"
 
@@ -56,6 +57,7 @@ int main() {
   std::printf("cells: measured (paper)\n\n");
 
   std::map<Config, double> tput;
+  BenchJson out("table2_gateway", prof.name);
   std::printf("%-18s %-16s\n", "Configuration", "Thrpt KB/s");
   PrintRule(36);
   for (Config c : configs) {
@@ -66,6 +68,11 @@ int main() {
     tput[c] = sweep.best.kb_per_sec;
     std::printf("%-18s %-16s\n", ConfigName(c),
                 Cell(sweep.best.kb_per_sec, kPaper.at(c).throughput, "%.0f").c_str());
+    BenchJson::Obj& row = out.AddResult();
+    row.Set("section", "throughput");
+    row.Set("config", ConfigName(c));
+    row.Set("kb_per_sec", sweep.best.kb_per_sec);
+    row.Set("paper_kb_per_sec", kPaper.at(c).throughput);
   }
 
   for (IpProto proto : {IpProto::kTcp, IpProto::kUdp}) {
@@ -87,8 +94,14 @@ int main() {
         opt.trials = trials;
         opt.pio_nic = true;
         double ms = RunProtolat(c, prof, opt);
-        std::printf(" %13s",
-                    Cell(ms, proto == IpProto::kTcp ? paper.tcp[i] : paper.udp[i]).c_str());
+        double paper_ms = proto == IpProto::kTcp ? paper.tcp[i] : paper.udp[i];
+        std::printf(" %13s", Cell(ms, paper_ms).c_str());
+        BenchJson::Obj& row = out.AddResult();
+        row.Set("section", proto == IpProto::kTcp ? "tcp_latency" : "udp_latency");
+        row.Set("config", ConfigName(c));
+        row.Set("msg_size", static_cast<uint64_t>(sizes[i]));
+        row.Set("rtt_ms", ms);
+        row.Set("paper_rtt_ms", paper_ms);
       }
       std::printf("\n");
     }
@@ -100,5 +113,9 @@ int main() {
               tput[Config::kLibraryShm] / tput[Config::kInKernel]);
   std::printf("  Server / In-Kernel:                 %.2f (paper: 415/457 = 0.91)\n",
               tput[Config::kServer] / tput[Config::kInKernel]);
+
+  out.summary().Set("lib_shm_over_kernel", tput[Config::kLibraryShm] / tput[Config::kInKernel]);
+  out.summary().Set("server_over_kernel", tput[Config::kServer] / tput[Config::kInKernel]);
+  out.WriteFile();
   return 0;
 }

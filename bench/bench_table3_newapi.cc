@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <map>
 
+#include "bench/common/bench_json.h"
 #include "bench/common/table_printer.h"
 #include "bench/common/workloads.h"
 
@@ -59,6 +60,7 @@ int main() {
   std::printf("%-22s %-16s %-16s\n", "Configuration", "NEWAPI KB/s", "classic KB/s");
   PrintRule(56);
   std::map<Config, double> tput_new, tput_classic;
+  BenchJson out("table3_newapi", prof.name);
   for (Config c : configs) {
     TtcpOptions opt;
     opt.total_bytes = total_mb * 1024 * 1024;
@@ -68,6 +70,13 @@ int main() {
     opt.newapi = false;
     SweepResult classic = TtcpBestBuffer(c, prof, opt);
     tput_classic[c] = classic.best.kb_per_sec;
+    BenchJson::Obj& row = out.AddResult();
+    row.Set("section", "throughput");
+    row.Set("config", ConfigName(c));
+    row.Set("newapi_kb_per_sec", tput_new[c]);
+    row.Set("classic_kb_per_sec", tput_classic[c]);
+    row.Set("paper_newapi_kb_per_sec", kPaperNew.at(c).throughput);
+    row.Set("paper_classic_kb_per_sec", kPaperClassicTput.at(c));
     std::printf("%-22s %-16s %-16s\n", (std::string("Library-NEWAPI-") + RxPathName(
         c == Config::kLibraryIpc ? RxPath::kIpc
         : c == Config::kLibraryShm ? RxPath::kShm : RxPath::kShmIpf)).c_str(),
@@ -95,8 +104,14 @@ int main() {
         opt.trials = trials;
         opt.newapi = true;
         double ms = RunProtolat(c, prof, opt);
-        std::printf(" %12s",
-                    Cell(ms, proto == IpProto::kTcp ? paper.tcp[i] : paper.udp[i]).c_str());
+        double paper_ms = proto == IpProto::kTcp ? paper.tcp[i] : paper.udp[i];
+        std::printf(" %12s", Cell(ms, paper_ms).c_str());
+        BenchJson::Obj& row = out.AddResult();
+        row.Set("section", proto == IpProto::kTcp ? "tcp_latency" : "udp_latency");
+        row.Set("config", ConfigName(c));
+        row.Set("msg_size", static_cast<uint64_t>(sizes[i]));
+        row.Set("rtt_ms", ms);
+        row.Set("paper_rtt_ms", paper_ms);
       }
       std::printf("\n");
     }
@@ -107,5 +122,11 @@ int main() {
               tput_new[Config::kLibraryIpc] / tput_classic[Config::kLibraryIpc]);
   std::printf("  Library-SHM-IPF: %.3f (paper: 1099/1088 = 1.010)\n",
               tput_new[Config::kLibraryShmIpf] / tput_classic[Config::kLibraryShmIpf]);
+
+  out.summary().Set("lib_ipc_newapi_gain",
+                    tput_new[Config::kLibraryIpc] / tput_classic[Config::kLibraryIpc]);
+  out.summary().Set("lib_shmipf_newapi_gain",
+                    tput_new[Config::kLibraryShmIpf] / tput_classic[Config::kLibraryShmIpf]);
+  out.WriteFile();
   return 0;
 }

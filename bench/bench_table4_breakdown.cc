@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/common/bench_json.h"
 #include "bench/common/table_printer.h"
 #include "bench/common/workloads.h"
 
@@ -101,7 +102,8 @@ double PaperCell(const std::string& place, const std::string& stage, IpProto pro
   return small ? c.udp1 : c.udpmax;
 }
 
-void RunColumn(Config cfg, const std::string& place, IpProto proto, size_t size, int trials) {
+void RunColumn(Config cfg, const std::string& place, IpProto proto, size_t size, int trials,
+               BenchJson* out) {
   MachineProfile prof = MachineProfile::DecStation5000();
   StageRecorder rec;
   ProtolatOptions opt;
@@ -109,6 +111,18 @@ void RunColumn(Config cfg, const std::string& place, IpProto proto, size_t size,
   opt.msg_size = size;
   opt.trials = trials;
   double rtt = RunProtolatProbed(cfg, prof, opt, &rec);
+
+  const char* proto_name = proto == IpProto::kTcp ? "tcp" : "udp";
+  auto add_row = [&](const char* layer, double us, double paper_us) {
+    BenchJson::Obj& row = out->AddResult();
+    row.Set("section", "breakdown");
+    row.Set("config", place);
+    row.Set("proto", proto_name);
+    row.Set("msg_size", static_cast<uint64_t>(size));
+    row.Set("layer", layer);
+    row.Set("us", us);
+    row.Set("paper_us", paper_us);
+  };
 
   bool small = size == 1;
   std::printf("\n-- %s, %s, %zu byte(s): RTT %.2f ms --\n", place.c_str(),
@@ -124,7 +138,9 @@ void RunColumn(Config cfg, const std::string& place, IpProto proto, size_t size,
   for (const Probe& p : kSendStages) {
     double us = sends > 0 ? ToMicros(rec.cell(p.stage).total) / sends : 0;
     total += us;
-    std::printf("%-22s %16s\n", p.label, Cell(us, PaperCell(place, p.label, proto, small), "%.0f").c_str());
+    double paper_us = PaperCell(place, p.label, proto, small);
+    std::printf("%-22s %16s\n", p.label, Cell(us, paper_us, "%.0f").c_str());
+    add_row(p.label, us, paper_us);
   }
   for (const Probe& p : kRecvStages) {
     double denom = rcvs;
@@ -133,7 +149,9 @@ void RunColumn(Config cfg, const std::string& place, IpProto proto, size_t size,
     }
     double us = denom > 0 ? ToMicros(rec.cell(p.stage).total) / denom : 0;
     total += us;
-    std::printf("%-22s %16s\n", p.label, Cell(us, PaperCell(place, p.label, proto, small), "%.0f").c_str());
+    double paper_us = PaperCell(place, p.label, proto, small);
+    std::printf("%-22s %16s\n", p.label, Cell(us, paper_us, "%.0f").c_str());
+    add_row(p.label, us, paper_us);
   }
   // Analytic wire transit for this message size (Ethernet + IP + transport
   // headers, minimum frame 64 bytes with FCS).
@@ -147,8 +165,16 @@ void RunColumn(Config cfg, const std::string& place, IpProto proto, size_t size,
   total += transit;
   std::printf("%-22s %16s\n", "network transit",
               Cell(transit, PaperCell(place, "network transit", proto, small), "%.0f").c_str());
+  add_row("network transit", transit, PaperCell(place, "network transit", proto, small));
   PrintRule(40);
   std::printf("%-22s %16.0f\n", "total (one way)", total);
+  BenchJson::Obj& row = out->AddResult();
+  row.Set("section", "total");
+  row.Set("config", place);
+  row.Set("proto", proto_name);
+  row.Set("msg_size", static_cast<uint64_t>(size));
+  row.Set("one_way_us", total);
+  row.Set("rtt_ms", rtt);
 }
 
 }  // namespace
@@ -167,11 +193,13 @@ int main() {
       {Config::kServer, "Server"},
   };
   int trials = 50;
+  BenchJson out("table4_breakdown", MachineProfile::DecStation5000().name);
   for (const Col& c : cols) {
-    RunColumn(c.cfg, c.name, IpProto::kTcp, 1, trials);
-    RunColumn(c.cfg, c.name, IpProto::kTcp, 1460, trials);
-    RunColumn(c.cfg, c.name, IpProto::kUdp, 1, trials);
-    RunColumn(c.cfg, c.name, IpProto::kUdp, 1472, trials);
+    RunColumn(c.cfg, c.name, IpProto::kTcp, 1, trials, &out);
+    RunColumn(c.cfg, c.name, IpProto::kTcp, 1460, trials, &out);
+    RunColumn(c.cfg, c.name, IpProto::kUdp, 1, trials, &out);
+    RunColumn(c.cfg, c.name, IpProto::kUdp, 1472, trials, &out);
   }
+  out.WriteFile();
   return 0;
 }

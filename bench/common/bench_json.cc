@@ -1,0 +1,119 @@
+#include "bench/common/bench_json.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace psd {
+
+namespace {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+void BenchJson::Obj::Put(const std::string& key, std::string formatted) {
+  for (auto& [k, v] : fields_) {
+    if (k == key) {
+      v = std::move(formatted);
+      return;
+    }
+  }
+  fields_.emplace_back(key, std::move(formatted));
+}
+
+void BenchJson::Obj::Set(const std::string& key, const std::string& v) { Put(key, Escape(v)); }
+void BenchJson::Obj::Set(const std::string& key, const char* v) { Put(key, Escape(v)); }
+
+void BenchJson::Obj::Set(const std::string& key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  Put(key, buf);
+}
+
+void BenchJson::Obj::Set(const std::string& key, int64_t v) {
+  Put(key, std::to_string(v));
+}
+
+void BenchJson::Obj::Set(const std::string& key, uint64_t v) {
+  Put(key, std::to_string(v));
+}
+
+void BenchJson::Obj::Set(const std::string& key, int v) { Put(key, std::to_string(v)); }
+
+void BenchJson::Obj::Set(const std::string& key, bool v) { Put(key, v ? "true" : "false"); }
+
+std::string BenchJson::Obj::Render() const {
+  std::string out = "{";
+  for (size_t i = 0; i < fields_.size(); i++) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += Escape(fields_[i].first) + ": " + fields_[i].second;
+  }
+  out += "}";
+  return out;
+}
+
+std::string BenchJson::Render() const {
+  std::string out = "{\n";
+  out += "  \"bench\": " + Escape(bench_) + ",\n";
+  out += "  \"schema\": 1,\n";
+  out += "  \"profile\": " + Escape(profile_) + ",\n";
+  out += "  \"summary\": " + summary_.Render() + ",\n";
+  out += "  \"results\": [\n";
+  for (size_t i = 0; i < results_.size(); i++) {
+    out += "    " + results_[i].Render();
+    out += i + 1 < results_.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool BenchJson::WriteFile() const {
+  std::string path = "BENCH_" + bench_ + ".json";
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    std::fprintf(stderr, "bench_json: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  os << Render();
+  os.flush();
+  if (!os.good()) {
+    std::fprintf(stderr, "bench_json: write to %s failed\n", path.c_str());
+    return false;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace psd

@@ -1,0 +1,67 @@
+// Shared machine-readable benchmark output. Every bench binary writes a
+// BENCH_<name>.json file in the working directory with one schema:
+//
+//   {
+//     "bench": "<name>",
+//     "schema": 1,
+//     "profile": "<machine profile>",
+//     "summary": { <headline metrics> },
+//     "results": [ { <one row per measurement> }, ... ]
+//   }
+//
+// Values are preformatted at Set() time (strings JSON-escaped, doubles %.6g)
+// and keys keep insertion order, so output is deterministic and diffable.
+#ifndef PSD_BENCH_COMMON_BENCH_JSON_H_
+#define PSD_BENCH_COMMON_BENCH_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace psd {
+
+class BenchJson {
+ public:
+  // An ordered flat JSON object; later Set() of an existing key overwrites.
+  class Obj {
+   public:
+    void Set(const std::string& key, const std::string& v);
+    void Set(const std::string& key, const char* v);
+    void Set(const std::string& key, double v);
+    void Set(const std::string& key, int64_t v);
+    void Set(const std::string& key, uint64_t v);
+    void Set(const std::string& key, int v);
+    void Set(const std::string& key, bool v);
+
+    std::string Render() const;  // "{...}" on one line
+
+   private:
+    void Put(const std::string& key, std::string formatted);
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  BenchJson(std::string bench, std::string profile)
+      : bench_(std::move(bench)), profile_(std::move(profile)) {}
+
+  Obj& summary() { return summary_; }
+  Obj& AddResult() {
+    results_.emplace_back();
+    return results_.back();
+  }
+
+  std::string Render() const;
+  // Writes BENCH_<bench>.json in the working directory. Returns false (and
+  // prints to stderr) on I/O failure.
+  bool WriteFile() const;
+
+ private:
+  std::string bench_;
+  std::string profile_;
+  Obj summary_;
+  std::vector<Obj> results_;
+};
+
+}  // namespace psd
+
+#endif  // PSD_BENCH_COMMON_BENCH_JSON_H_

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "src/obs/trace.h"
+
 namespace psd {
 
 namespace {
@@ -130,6 +132,9 @@ double ProtolatImpl(Config config, const MachineProfile& profile, const Protolat
     w.AttachTracer(0, hooks.tracer);
     w.AttachTracer(1, hooks.tracer);
   }
+  if (hooks.on_world) {
+    hooks.on_world(w);
+  }
   double mean_ms = 0;
   bool done = false;
 
@@ -204,6 +209,7 @@ double ProtolatImpl(Config config, const MachineProfile& profile, const Protolat
         }
         t0 = w.sim().Now();
       }
+      SimTime trial_start = w.sim().Now();
       if (opt.newapi) {
         auto shared = std::make_shared<std::vector<uint8_t>>(opt.msg_size, 0x11);
         if (!api->SendShared(fd, shared, 0, opt.msg_size, nullptr).ok()) {
@@ -229,6 +235,12 @@ double ProtolatImpl(Config config, const MachineProfile& profile, const Protolat
           }
           got += *n;
         }
+      }
+      // Application-level RTT span for each measured trial; latency
+      // histograms aggregate these by name.
+      if (i >= warmup && hooks.tracer != nullptr && hooks.tracer->enabled()) {
+        hooks.tracer->Emit(&w.sim(), "protolat/rtt", TraceLayer::kApp, /*stage=*/-1, trial_start,
+                           w.sim().Now() - trial_start);
       }
     }
     mean_ms = ToMillis(w.sim().Now() - t0) / opt.trials;

@@ -64,6 +64,10 @@ double RunProtolat(Config config, const MachineProfile& profile, const ProtolatO
 // send path and the echo host's receive path.
 struct ProtolatHooks {
   Tracer* tracer = nullptr;
+  // Called right after the world is built, before any application thread
+  // runs (use to attach pcap taps, export stats registries, or inject
+  // wire faults).
+  std::function<void(World&)> on_world;
   // Called on the client thread at the warmup/measurement boundary (use to
   // reset accumulating sinks so means cover only measured trials).
   std::function<void()> on_measure_begin;

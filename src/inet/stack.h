@@ -28,6 +28,17 @@ namespace psd {
 
 class StatsRegistry;
 
+// Socket-layer activity counters, kept on the Stack so they ride along with
+// the protocol counter blocks in ExportStats (the socket objects themselves
+// are transient).
+struct SockStats {
+  uint64_t sends = 0;        // Send/SendShared calls
+  uint64_t recvs = 0;        // Recv/RecvChain calls
+  uint64_t send_blocks = 0;  // times a sender blocked on buffer space
+  uint64_t recv_blocks = 0;  // times a receiver blocked waiting for data
+  uint64_t wakeups = 0;      // reader/writer wakeups that found waiters
+};
+
 struct StackParams {
   Simulator* sim = nullptr;
   HostCpu* cpu = nullptr;
@@ -74,6 +85,9 @@ class Stack {
   const std::string& name() const { return name_; }
 
   uint64_t frames_in() const { return frames_in_; }
+  uint64_t ether_bad_frames() const { return ether_bad_frames_; }
+  SockStats& sock_stats() { return sock_stats_; }
+  const SockStats& sock_stats() const { return sock_stats_; }
 
   // Registers this stack's protocol counters as "<prefix>tcp.segs_sent" etc.
   // The stack must outlive the registry's last Snapshot.
@@ -99,6 +113,8 @@ class Stack {
   bool timer_idle_ = false;
   SimThread* timer_thread_ = nullptr;
   uint64_t frames_in_ = 0;
+  uint64_t ether_bad_frames_ = 0;
+  SockStats sock_stats_;
 };
 
 }  // namespace psd

@@ -149,6 +149,12 @@ struct TcpPcb {
 
   uint64_t id = 0;  // diagnostics
 
+  // Per-session observability counters (flight recorder; never consulted by
+  // protocol logic and not part of migration state).
+  uint64_t segs_in = 0;
+  uint64_t segs_out = 0;
+  uint64_t rexmt_segs = 0;
+
   size_t UnsentBytes() const {
     uint32_t off = snd_nxt - snd_una;
     return snd.cc() > off ? snd.cc() - off : 0;
@@ -173,6 +179,9 @@ struct TcpStats {
   uint64_t persist_probes = 0;
   uint64_t keepalive_probes = 0;
   uint64_t acks_delayed = 0;
+  uint64_t acks_received = 0;
+  uint64_t window_updates = 0;
+  uint64_t rexmt_timeouts = 0;
 };
 
 // Serializable snapshot of one session's full protocol state, used to

@@ -154,6 +154,8 @@ void TcpLayer::Input(Chain seg, Ipv4Addr src, Ipv4Addr dst) {
     break;
   }
 
+  pcb->segs_in++;
+
   if (pcb->state == TcpState::kClosed) {
     drop_with_reset();
     return;
@@ -386,6 +388,11 @@ void TcpLayer::Input(Chain seg, Ipv4Addr src, Ipv4Addr dst) {
     if (SeqLeq(ack, pcb->snd_una)) {
       if (tlen == 0 && win == pcb->snd_wnd) {
         stats_.dup_acks++;
+#ifndef PSD_OBS_DISABLE_TRACING
+        if (env_->tracer != nullptr && env_->tracer->enabled()) {
+          env_->tracer->Instant(env_->sim, "tcp/dupack", TraceLayer::kInet, pcb->id);
+        }
+#endif
         if (pcb->t_timer[TcpPcb::kTimerRexmt] == 0 || ack != pcb->snd_una) {
           pcb->t_dupacks = 0;
         } else {
@@ -431,6 +438,7 @@ void TcpLayer::Input(Chain seg, Ipv4Addr src, Ipv4Addr dst) {
         pcb->snd_cwnd = pcb->snd_ssthresh;  // deflate after fast recovery
       }
       pcb->t_dupacks = 0;
+      stats_.acks_received++;
       uint32_t acked = ack - pcb->snd_una;
 
       if (pcb->t_rtt != 0 && SeqGt(ack, pcb->t_rtseq)) {
@@ -511,6 +519,7 @@ void TcpLayer::Input(Chain seg, Ipv4Addr src, Ipv4Addr dst) {
       (SeqLt(pcb->snd_wl1, seq) ||
        (pcb->snd_wl1 == seq &&
         (SeqLt(pcb->snd_wl2, ack) || (pcb->snd_wl2 == ack && win > pcb->snd_wnd))))) {
+    stats_.window_updates++;
     pcb->snd_wnd = win;
     pcb->snd_wl1 = seq;
     pcb->snd_wl2 = ack;

@@ -256,11 +256,18 @@ Result<void> TcpLayer::Output(TcpPcb* pcb) {
     pcb->delack = false;
 
     stats_.segs_sent++;
+    pcb->segs_out++;
     if (len > 0) {
       stats_.data_segs_sent++;
       stats_.bytes_sent += static_cast<uint64_t>(len);
       if (is_retransmit) {
         stats_.retransmits++;
+        pcb->rexmt_segs++;
+#ifndef PSD_OBS_DISABLE_TRACING
+        if (env_->tracer != nullptr && env_->tracer->enabled()) {
+          env_->tracer->Instant(env_->sim, "tcp/rexmit", TraceLayer::kInet, pcb->id);
+        }
+#endif
       }
     }
 

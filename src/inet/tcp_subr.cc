@@ -268,7 +268,6 @@ void TcpLayer::CancelTimers(TcpPcb* pcb) {
 
 void TcpLayer::Respond(TcpPcb* pcb, const SockAddrIn& local, const SockAddrIn& remote,
                        uint32_t seq, uint32_t ack, uint8_t flags) {
-  (void)pcb;
   Chain seg;
   uint8_t* h = seg.Prepend(kTcpHeaderLen);
   Store16(h + 0, local.port);
@@ -289,6 +288,9 @@ void TcpLayer::Respond(TcpPcb* pcb, const SockAddrIn& local, const SockAddrIn& r
   seg.Checksum(0, seg.len(), &acc);
   Store16(seg.MutablePullup(kTcpHeaderLen) + 16, acc.Finish());
   stats_.segs_sent++;
+  if (pcb != nullptr) {
+    pcb->segs_out++;
+  }
   ip_->Output(std::move(seg), IpProto::kTcp, local.addr, remote.addr);
 }
 

@@ -85,6 +85,7 @@ void TcpLayer::SlowTick() {
 }
 
 void TcpLayer::RexmtTimeout(TcpPcb* pcb) {
+  stats_.rexmt_timeouts++;
   if (++pcb->t_rxtshift > kMaxRxtShift) {
     pcb->t_rxtshift = kMaxRxtShift;
     DropConnection(pcb, Err::kTimedOut);

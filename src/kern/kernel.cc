@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "src/base/log.h"
+#include "src/obs/pcap.h"
 #include "src/obs/stats.h"
 #include "src/obs/trace.h"
 
@@ -133,6 +134,11 @@ void Kernel::DeliverFrame() {
       return;
     }
     const DeliveryEndpoint& ep = epit->second;
+#ifndef PSD_OBS_DISABLE_PCAP
+    if (pcap_ != nullptr) {
+      pcap_->CaptureFrame(sim_->Now(), f);
+    }
+#endif
     ProbeSpan span(tracer_, sim_, Stage::kKernelCopyout);
     // Single copy: device memory straight into the destination domain.
     self->Charge(static_cast<SimDuration>(f.size()) * nic_->params().rx_read_per_byte);
@@ -175,6 +181,11 @@ void Kernel::DeliverFrame() {
     return;
   }
   const DeliveryEndpoint& ep = epit->second;
+#ifndef PSD_OBS_DISABLE_PCAP
+  if (pcap_ != nullptr) {
+    pcap_->CaptureFrame(sim_->Now(), f);
+  }
+#endif
   switch (ep.kind) {
     case DeliverKind::kDirect:
       // In-kernel stack: the netisr queue holds the kernel buffer directly.

@@ -31,6 +31,7 @@
 
 namespace psd {
 
+class PcapCapture;
 class StatsRegistry;
 
 enum class DeliverKind { kDirect, kIpc, kShm, kShmIpf };
@@ -86,6 +87,11 @@ class Kernel {
     engine_.SetTracer(tracer, sim_);
   }
 
+  // Captures every frame handed to a matched delivery endpoint (after
+  // filtering) into a libpcap buffer, stamped at delivery time. Charges no
+  // simulated cost. May be null to detach.
+  void SetPcapTap(PcapCapture* pcap) { pcap_ = pcap; }
+
   // Registers delivery/demux counters as "<prefix>rx_delivered" etc.
   void ExportStats(StatsRegistry* reg, const std::string& prefix) const;
 
@@ -110,6 +116,7 @@ class Kernel {
   const MachineProfile* prof_;
   std::string name_;
   Tracer* tracer_ = nullptr;
+  PcapCapture* pcap_ = nullptr;
 
   FilterEngine engine_;
   std::map<uint64_t, DeliveryEndpoint> endpoints_;

@@ -4,6 +4,7 @@
 #include "src/base/log.h"
 #include "src/netsim/nic.h"
 #include "src/netsim/segment.h"
+#include "src/obs/pcap.h"
 #include "src/obs/trace.h"
 
 namespace psd {
@@ -16,6 +17,11 @@ void EthernetSegment::Transmit(Nic* src, Frame frame, std::function<void()> done
   if (tracer_ != nullptr && tracer_->enabled()) {
     tracer_->Emit(sim_, "wire/transmit", TraceLayer::kWire, /*stage=*/-1, start, end - start);
   }
+#ifndef PSD_OBS_DISABLE_PCAP
+  if (pcap_ != nullptr) {
+    pcap_->CaptureFrame(start, frame);
+  }
+#endif
 
   if (faults_.loss_rate > 0 && rng_.Chance(faults_.loss_rate)) {
     frames_dropped_++;

@@ -17,6 +17,7 @@
 namespace psd {
 
 class Nic;
+class PcapCapture;
 class Tracer;
 
 struct WireParams {
@@ -55,6 +56,12 @@ class EthernetSegment {
   // injected drop) so traces show network transit alongside host work.
   void SetTracer(Tracer* tracer) { tracer_ = tracer; }
 
+  // Captures every frame whose transmission starts on the segment into a
+  // libpcap buffer, stamped at transmission start (a sniffer on the cable —
+  // frames the fault injector later drops are still captured). Charges no
+  // simulated cost. May be null to detach.
+  void SetPcapTap(PcapCapture* pcap) { pcap_ = pcap; }
+
   // Serialization time for a frame of `payload_len` bytes (incl. header).
   SimDuration WireTime(size_t frame_len) const {
     int on_wire = static_cast<int>(frame_len) + params_.fcs_bytes;
@@ -74,6 +81,7 @@ class EthernetSegment {
   WireParams params_;
   FaultPlan faults_;
   Tracer* tracer_ = nullptr;
+  PcapCapture* pcap_ = nullptr;
   Rng rng_;
   std::vector<Nic*> nics_;
   SimTime medium_free_at_ = 0;

@@ -1,0 +1,105 @@
+#include "src/obs/histogram.h"
+
+#include <bit>
+#include <cstdio>
+#include <sstream>
+
+namespace psd {
+
+namespace {
+
+int BucketIndex(SimDuration d) {
+  if (d <= 1) {
+    return 0;
+  }
+  return std::bit_width(static_cast<uint64_t>(d)) - 1;
+}
+
+// Inclusive lower edge of bucket i (2^i; bucket 0 starts at 0).
+SimDuration BucketLo(int i) { return i == 0 ? 0 : static_cast<SimDuration>(1) << i; }
+// Exclusive upper edge of bucket i.
+SimDuration BucketHi(int i) { return static_cast<SimDuration>(1) << (i + 1); }
+
+}  // namespace
+
+void LatencyHistogram::Record(SimDuration d) {
+  if (d < 0) {
+    d = 0;
+  }
+  buckets_[static_cast<size_t>(BucketIndex(d))]++;
+  if (count_ == 0 || d < min_) {
+    min_ = d;
+  }
+  if (d > max_) {
+    max_ = d;
+  }
+  total_ += d;
+  count_++;
+}
+
+SimDuration LatencyHistogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  if (q <= 0.0) {
+    return min_;
+  }
+  if (q >= 1.0) {
+    return max_;
+  }
+  // Rank of the requested quantile among `count_` samples (0-based).
+  double rank = q * static_cast<double>(count_ - 1);
+  uint64_t below = 0;
+  for (int i = 0; i < kBuckets; i++) {
+    uint64_t n = buckets_[static_cast<size_t>(i)];
+    if (n == 0) {
+      continue;
+    }
+    if (rank < static_cast<double>(below + n)) {
+      // Interpolate linearly inside the covering bucket, clamped to the
+      // recorded extremes so single-bucket distributions don't smear.
+      double frac = (rank - static_cast<double>(below) + 0.5) / static_cast<double>(n);
+      double lo = static_cast<double>(BucketLo(i));
+      double hi = static_cast<double>(BucketHi(i));
+      auto v = static_cast<SimDuration>(lo + (hi - lo) * frac);
+      if (v < min_) {
+        v = min_;
+      }
+      if (v > max_) {
+        v = max_;
+      }
+      return v;
+    }
+    below += n;
+  }
+  return max_;
+}
+
+void LatencyHistogram::Reset() {
+  buckets_ = {};
+  count_ = 0;
+  min_ = max_ = total_ = 0;
+}
+
+std::string LatencyHistogram::Dump(const std::string& indent) const {
+  std::ostringstream os;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "%scount %llu  mean %.1f us  p50 %.1f us  p90 %.1f us  p99 %.1f us  max %.1f us\n",
+                indent.c_str(), static_cast<unsigned long long>(count_), MeanMicros(),
+                QuantileMicros(0.50), QuantileMicros(0.90), QuantileMicros(0.99), ToMicros(max_));
+  os << line;
+  for (int i = 0; i < kBuckets; i++) {
+    uint64_t n = buckets_[static_cast<size_t>(i)];
+    if (n == 0) {
+      continue;
+    }
+    std::snprintf(line, sizeof(line), "%s[%10.1f us, %10.1f us)  %llu\n", indent.c_str(),
+                  ToMicros(BucketLo(i)), ToMicros(BucketHi(i)),
+                  static_cast<unsigned long long>(n));
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace psd

@@ -1,0 +1,167 @@
+#include "src/obs/netstat.h"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace psd {
+
+namespace {
+
+// Humanized phrases for the well-known protocol counters, mirroring the
+// netstat -s wording for the BSD counters they model.
+const char* Phrase(const std::string& leaf) {
+  struct Entry {
+    const char* name;
+    const char* phrase;
+  };
+  static const Entry kPhrases[] = {
+      // tcpstat
+      {"segs_sent", "segments sent"},
+      {"segs_received", "segments received"},
+      {"data_segs_sent", "data segments sent"},
+      {"bytes_sent", "data bytes sent"},
+      {"bytes_received", "data bytes received"},
+      {"retransmits", "data segments retransmitted"},
+      {"fast_retransmits", "fast retransmissions"},
+      {"rexmt_timeouts", "retransmit timeouts"},
+      {"dup_acks", "duplicate acks received"},
+      {"acks_received", "acks received for new data"},
+      {"acks_delayed", "delayed acks scheduled"},
+      {"window_updates", "window update segments received"},
+      {"out_of_order", "out-of-order segments received"},
+      {"bad_checksum", "discarded for bad checksums"},
+      {"dropped_no_pcb", "dropped, no matching connection"},
+      {"rsts_sent", "resets sent"},
+      {"conns_established", "connections established"},
+      {"conns_dropped", "connections dropped"},
+      {"persist_probes", "window probes sent"},
+      {"keepalive_probes", "keepalive probes sent"},
+      // udpstat
+      {"sent", "datagrams output"},
+      {"received", "datagrams received"},
+      {"no_port", "dropped, no socket on port"},
+      {"full_drops", "dropped, receive buffer full"},
+      // ipstat
+      {"delivered", "packets delivered to upper layers"},
+      {"bad_header", "discarded for bad headers"},
+      {"not_ours", "packets not for this host"},
+      {"no_route", "output packets discarded, no route"},
+      {"no_proto", "packets for unknown protocols"},
+      {"fragments_sent", "output fragments created"},
+      {"fragments_received", "fragments received"},
+      {"reassembled", "packets reassembled ok"},
+      {"reassembly_timeouts", "fragments dropped after timeout"},
+      // etherstat
+      {"tx_frames", "frames transmitted"},
+      {"bad_frames", "malformed frames discarded"},
+      {"unknown_type", "frames with unknown ethertype"},
+      {"unresolved_drops", "frames dropped, address unresolvable"},
+      // arpstat
+      {"requests_sent", "requests sent"},
+      {"replies_sent", "replies sent"},
+      // wire
+      {"frames_carried", "frames carried"},
+      {"frames_dropped", "frames dropped (fault injection)"},
+  };
+  for (const Entry& e : kPhrases) {
+    if (leaf == e.name) {
+      return e.phrase;
+    }
+  }
+  return nullptr;
+}
+
+void SplitLeaf(const std::string& name, std::string* block, std::string* leaf) {
+  size_t dot = name.rfind('.');
+  if (dot == std::string::npos) {
+    block->clear();
+    *leaf = name;
+  } else {
+    *block = name.substr(0, dot);
+    *leaf = name.substr(dot + 1);
+  }
+}
+
+struct JsonNode {
+  std::map<std::string, JsonNode> kids;  // ordered: stable output
+  uint64_t value = 0;
+  bool leaf = false;
+};
+
+void RenderJson(const JsonNode& node, std::ostringstream& os, int depth) {
+  if (node.leaf) {
+    os << node.value;
+    return;
+  }
+  os << "{";
+  bool first = true;
+  for (const auto& [key, kid] : node.kids) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << "\n" << std::string(static_cast<size_t>(depth + 1) * 2, ' ') << "\"" << key << "\": ";
+    RenderJson(kid, os, depth + 1);
+  }
+  if (!first) {
+    os << "\n" << std::string(static_cast<size_t>(depth) * 2, ' ');
+  }
+  os << "}";
+}
+
+}  // namespace
+
+std::string NetstatText(const std::vector<StatsRegistry::Entry>& entries, bool skip_zero) {
+  std::ostringstream os;
+  std::string open_block;
+  bool any = false;
+  for (const StatsRegistry::Entry& e : entries) {
+    if (skip_zero && e.value == 0) {
+      continue;
+    }
+    std::string block;
+    std::string leaf;
+    SplitLeaf(e.name, &block, &leaf);
+    if (!any || block != open_block) {
+      os << (block.empty() ? "(top)" : block) << ":\n";
+      open_block = block;
+      any = true;
+    }
+    const char* phrase = Phrase(leaf);
+    char line[192];
+    if (phrase != nullptr) {
+      std::snprintf(line, sizeof(line), "\t%llu %s\n", static_cast<unsigned long long>(e.value),
+                    phrase);
+    } else {
+      std::snprintf(line, sizeof(line), "\t%llu %s\n", static_cast<unsigned long long>(e.value),
+                    leaf.c_str());
+    }
+    os << line;
+  }
+  return os.str();
+}
+
+std::string NetstatJson(const std::vector<StatsRegistry::Entry>& entries) {
+  JsonNode root;
+  for (const StatsRegistry::Entry& e : entries) {
+    JsonNode* node = &root;
+    size_t start = 0;
+    while (true) {
+      size_t dot = e.name.find('.', start);
+      std::string part = e.name.substr(start, dot == std::string::npos ? dot : dot - start);
+      node = &node->kids[part];
+      if (dot == std::string::npos) {
+        break;
+      }
+      start = dot + 1;
+    }
+    node->leaf = true;
+    node->value = e.value;
+  }
+  std::ostringstream os;
+  RenderJson(root, os, 0);
+  return os.str();
+}
+
+}  // namespace psd

@@ -1,0 +1,31 @@
+// netstat -s -style rendering of a StatsRegistry snapshot.
+//
+// Counter names are dotted paths ("h0.stack.tcp.segs_sent",
+// "wire.frames_carried"). NetstatText groups them the way BSD's netstat -s
+// prints its tcpstat/udpstat/ipstat blocks: one section per counter block
+// (everything up to the leaf), one "<value> <phrase>" line per counter,
+// with well-known protocol counters humanized ("segments sent") and
+// everything else falling back to the raw leaf name. NetstatJson renders
+// the same snapshot as one nested JSON object, splitting on dots.
+#ifndef PSD_SRC_OBS_NETSTAT_H_
+#define PSD_SRC_OBS_NETSTAT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/obs/stats.h"
+
+namespace psd {
+
+// `skip_zero` suppresses zero-valued counters, like netstat's terse mode;
+// section headers for fully-zero blocks are suppressed with them.
+std::string NetstatText(const std::vector<StatsRegistry::Entry>& entries, bool skip_zero = false);
+
+// One nested JSON object; leaves are unsigned integers. Entries must be
+// sorted by name (StatsRegistry::Snapshot guarantees this) and no name may
+// be a dotted prefix of another.
+std::string NetstatJson(const std::vector<StatsRegistry::Entry>& entries);
+
+}  // namespace psd
+
+#endif  // PSD_SRC_OBS_NETSTAT_H_

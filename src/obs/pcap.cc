@@ -1,0 +1,60 @@
+#include "src/obs/pcap.h"
+
+#include <fstream>
+
+namespace psd {
+
+namespace {
+
+void Put16(std::ostream& os, uint16_t v) {
+  char b[2] = {static_cast<char>(v & 0xff), static_cast<char>(v >> 8)};
+  os.write(b, 2);
+}
+
+void Put32(std::ostream& os, uint32_t v) {
+  char b[4] = {static_cast<char>(v & 0xff), static_cast<char>((v >> 8) & 0xff),
+               static_cast<char>((v >> 16) & 0xff), static_cast<char>(v >> 24)};
+  os.write(b, 4);
+}
+
+}  // namespace
+
+void PcapCapture::Capture(SimTime at, const uint8_t* data, size_t len) {
+  Record rec;
+  rec.at = at;
+  rec.bytes.assign(data, data + len);
+  bytes_ += len;
+  records_.push_back(std::move(rec));
+}
+
+void PcapCapture::WriteTo(std::ostream& os) const {
+  Put32(os, kMagicMicros);
+  Put16(os, kVersionMajor);
+  Put16(os, kVersionMinor);
+  Put32(os, 0);  // thiszone: virtual time has no UTC offset
+  Put32(os, 0);  // sigfigs
+  Put32(os, kSnapLen);
+  Put32(os, kLinktypeEthernet);
+  for (const Record& rec : records_) {
+    auto ns = static_cast<uint64_t>(rec.at < 0 ? 0 : rec.at);
+    Put32(os, static_cast<uint32_t>(ns / 1000000000ull));
+    Put32(os, static_cast<uint32_t>((ns % 1000000000ull) / 1000ull));
+    auto len = static_cast<uint32_t>(rec.bytes.size());
+    Put32(os, len);  // incl_len: frames are captured whole
+    Put32(os, len);  // orig_len
+    os.write(reinterpret_cast<const char*>(rec.bytes.data()),
+             static_cast<std::streamsize>(rec.bytes.size()));
+  }
+}
+
+bool PcapCapture::WriteFile(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    return false;
+  }
+  WriteTo(os);
+  os.flush();
+  return os.good();
+}
+
+}  // namespace psd

@@ -22,6 +22,8 @@ const char* TraceLayerName(TraceLayer layer) {
       return "serv";
     case TraceLayer::kWire:
       return "wire";
+    case TraceLayer::kApp:
+      return "app";
     case TraceLayer::kNumLayers:
       break;
   }

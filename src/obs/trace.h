@@ -41,6 +41,7 @@ enum class TraceLayer : int {
   kCore,    // proxy calls, session migration, crash cleanup
   kServ,    // UX server RPC path
   kWire,    // network transit (analytic)
+  kApp,     // application-level spans (per-RPC latency, workload phases)
   kNumLayers,
 };
 

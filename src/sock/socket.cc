@@ -104,6 +104,7 @@ SimDuration Socket::WakeupCost() const {
 void Socket::WakeReaders() {
   if (rcv_cv_.has_waiters()) {
     ProbeSpan span(stack_->env()->tracer, stack_->env()->sim, Stage::kWakeupUser);
+    stack_->sock_stats().wakeups++;
     stack_->env()->Charge(WakeupCost());
     rcv_cv_.NotifyAll();
   }
@@ -114,6 +115,7 @@ void Socket::WakeReaders() {
 
 void Socket::WakeWriters() {
   if (snd_cv_.has_waiters()) {
+    stack_->sock_stats().wakeups++;
     stack_->env()->Charge(WakeupCost());
     snd_cv_.NotifyAll();
   }
@@ -223,6 +225,7 @@ Result<size_t> Socket::Send(const uint8_t* data, size_t len, const SockAddrIn* t
     boundary_.charge_entry(len);
   }
   stack_->env()->Charge(stack_->env()->prof->sock_send_fixed);
+  stack_->sock_stats().sends++;
 
   if (udp_ != nullptr) {
     if (shutdown_wr_) {
@@ -263,6 +266,7 @@ Result<size_t> Socket::Send(const uint8_t* data, size_t len, const SockAddrIn* t
     }
     size_t space = tcp_->snd.space();
     if (space == 0) {
+      stack_->sock_stats().send_blocks++;
       snd_cv_.Wait(stack_->sync()->mutex());
       continue;
     }
@@ -289,6 +293,7 @@ Result<size_t> Socket::SendShared(std::shared_ptr<const std::vector<uint8_t>> bu
     boundary_.charge_entry(len);
   }
   stack_->env()->Charge(stack_->env()->prof->sock_send_fixed);
+  stack_->sock_stats().sends++;
 
   if (udp_ != nullptr) {
     Result<void> r = stack_->udp().Output(udp_, Chain::Referencing(std::move(buf), off, len), to);
@@ -313,6 +318,7 @@ Result<size_t> Socket::SendShared(std::shared_ptr<const std::vector<uint8_t>> bu
     }
     size_t space = tcp_->snd.space();
     if (space == 0) {
+      stack_->sock_stats().send_blocks++;
       snd_cv_.Wait(stack_->sync()->mutex());
       continue;
     }
@@ -331,6 +337,7 @@ Result<size_t> Socket::SendShared(std::shared_ptr<const std::vector<uint8_t>> bu
 
 Result<size_t> Socket::Recv(uint8_t* out, size_t len, SockAddrIn* from, bool peek) {
   DomainLock lock(stack_->sync());
+  stack_->sock_stats().recvs++;
 
   if (udp_ != nullptr) {
     for (;;) {
@@ -344,6 +351,7 @@ Result<size_t> Socket::Recv(uint8_t* out, size_t len, SockAddrIn* from, bool pee
       if (shutdown_rd_) {
         return size_t{0};
       }
+      stack_->sock_stats().recv_blocks++;
       rcv_cv_.Wait(stack_->sync()->mutex());
     }
     ProbeSpan span(stack_->env()->tracer, stack_->env()->sim, Stage::kCopyoutExit);
@@ -388,6 +396,7 @@ Result<size_t> Socket::Recv(uint8_t* out, size_t len, SockAddrIn* from, bool pee
     if (tcp_->cantrcvmore || shutdown_rd_ || tcp_->state == TcpState::kClosed) {
       return size_t{0};  // EOF
     }
+    stack_->sock_stats().recv_blocks++;
     rcv_cv_.Wait(stack_->sync()->mutex());
   }
   ProbeSpan span(stack_->env()->tracer, stack_->env()->sim, Stage::kCopyoutExit);
@@ -410,6 +419,7 @@ Result<size_t> Socket::Recv(uint8_t* out, size_t len, SockAddrIn* from, bool pee
 Result<Chain> Socket::RecvChain(size_t max, SockAddrIn* from) {
   DomainLock lock(stack_->sync());
   stack_->env()->Charge(stack_->env()->prof->sock_recv_fixed);
+  stack_->sock_stats().recvs++;
 
   if (udp_ != nullptr) {
     for (;;) {
@@ -423,6 +433,7 @@ Result<Chain> Socket::RecvChain(size_t max, SockAddrIn* from) {
       if (shutdown_rd_) {
         return Chain();
       }
+      stack_->sock_stats().recv_blocks++;
       rcv_cv_.Wait(stack_->sync()->mutex());
     }
     ProbeSpan span(stack_->env()->tracer, stack_->env()->sim, Stage::kCopyoutExit);
@@ -454,6 +465,7 @@ Result<Chain> Socket::RecvChain(size_t max, SockAddrIn* from) {
     if (tcp_->cantrcvmore || shutdown_rd_ || tcp_->state == TcpState::kClosed) {
       return Chain();
     }
+    stack_->sock_stats().recv_blocks++;
     rcv_cv_.Wait(stack_->sync()->mutex());
   }
   ProbeSpan span(stack_->env()->tracer, stack_->env()->sim, Stage::kCopyoutExit);

@@ -111,6 +111,12 @@ void World::ExportWireStats(StatsRegistry* reg) {
   reg->RegisterGauge("wire.frames_dropped", [this] { return wire_.frames_dropped(); });
 }
 
+void World::AttachWirePcap(PcapCapture* pcap) { wire_.SetPcapTap(pcap); }
+
+void World::AttachKernelPcap(int i, PcapCapture* pcap) {
+  nodes_[i]->host->kernel()->SetPcapTap(pcap);
+}
+
 ProtocolLibrary* World::AddLibrary(int i, const std::string& name) {
   Node* n = nodes_[i].get();
   if (n->ns == nullptr) {

@@ -16,6 +16,8 @@
 
 namespace psd {
 
+class PcapCapture;
+
 // The system configurations of Table 2.
 enum class Config {
   kInKernel,       // Mach 2.5 / Ultrix / 386BSD style
@@ -76,6 +78,13 @@ class World {
 
   // Registers segment-level counters ("wire.frames_carried" etc.).
   void ExportWireStats(StatsRegistry* reg);
+
+  // Attaches a pcap capture to the shared wire (every transmitted frame)
+  // or to host `i`'s kernel delivery boundary (every frame handed to a
+  // matched endpoint). The capture must outlive the World or be detached
+  // (pass nullptr) first. Charges no simulated cost.
+  void AttachWirePcap(PcapCapture* pcap);
+  void AttachKernelPcap(int i, PcapCapture* pcap);
 
   // Creates an extra library application on host `i` (library configs
   // only), e.g. the child of a fork or a second process sharing the host.

@@ -1,0 +1,112 @@
+// LatencyHistogram / HistogramSink unit tests: bucketing, quantile
+// behaviour, and the sink's span/instant aggregation.
+#include <gtest/gtest.h>
+
+#include "src/obs/histogram.h"
+
+namespace psd {
+namespace {
+
+TEST(LatencyHistogram, EmptyIsAllZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.Quantile(0.5), 0);
+  EXPECT_EQ(h.MeanMicros(), 0.0);
+}
+
+TEST(LatencyHistogram, TracksCountMinMaxMean) {
+  LatencyHistogram h;
+  h.Record(Micros(10));
+  h.Record(Micros(20));
+  h.Record(Micros(30));
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), Micros(10));
+  EXPECT_EQ(h.max(), Micros(30));
+  EXPECT_DOUBLE_EQ(h.MeanMicros(), 20.0);
+}
+
+TEST(LatencyHistogram, IdenticalSamplesCollapseAllQuantiles) {
+  // Interpolation clamps to the recorded extremes, so a constant
+  // distribution reports that constant at every quantile.
+  LatencyHistogram h;
+  for (int i = 0; i < 100; i++) {
+    h.Record(Micros(50));
+  }
+  EXPECT_EQ(h.Quantile(0.50), Micros(50));
+  EXPECT_EQ(h.Quantile(0.90), Micros(50));
+  EXPECT_EQ(h.Quantile(0.99), Micros(50));
+}
+
+TEST(LatencyHistogram, QuantilesAreMonotoneAndBracketedByExtremes) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; i++) {
+    h.Record(Micros(i));
+  }
+  SimDuration prev = h.Quantile(0.0);
+  EXPECT_EQ(prev, Micros(1));
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    SimDuration v = h.Quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    EXPECT_GE(v, h.min());
+    EXPECT_LE(v, h.max());
+    prev = v;
+  }
+  EXPECT_EQ(h.Quantile(1.0), Micros(1000));
+  // Log-bucket relative error: p50 of U[1us,1000us] must land within a
+  // factor of two of the true median.
+  double p50 = h.QuantileMicros(0.50);
+  EXPECT_GT(p50, 250.0);
+  EXPECT_LT(p50, 1000.0);
+}
+
+TEST(LatencyHistogram, NegativeDurationsClampToZeroBucket) {
+  LatencyHistogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.bucket(0), 1u);
+}
+
+TEST(LatencyHistogram, ResetClearsEverything) {
+  LatencyHistogram h;
+  h.Record(Micros(7));
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0);
+  for (int i = 0; i < LatencyHistogram::kBuckets; i++) {
+    EXPECT_EQ(h.bucket(i), 0u);
+  }
+}
+
+TEST(HistogramSink, AggregatesSpansByNameAndCountsInstants) {
+  HistogramSink sink;
+  TraceSpanData span;
+  span.name = "rpc";
+  span.dur = Micros(100);
+  sink.OnSpan(span);
+  span.dur = Micros(300);
+  sink.OnSpan(span);
+  span.name = "copy";
+  span.dur = Micros(5);
+  sink.OnSpan(span);
+  sink.OnInstant("tcp/rexmit", TraceLayer::kInet, 0, nullptr, 1);
+  sink.OnInstant("tcp/rexmit", TraceLayer::kInet, 0, nullptr, 2);
+
+  const LatencyHistogram* rpc = sink.Find("rpc");
+  ASSERT_NE(rpc, nullptr);
+  EXPECT_EQ(rpc->count(), 2u);
+  EXPECT_EQ(rpc->max(), Micros(300));
+  ASSERT_NE(sink.Find("copy"), nullptr);
+  EXPECT_EQ(sink.Find("missing"), nullptr);
+  EXPECT_EQ(sink.instant_count("tcp/rexmit"), 2u);
+  EXPECT_EQ(sink.instant_count("tcp/dupack"), 0u);
+
+  sink.Reset();
+  EXPECT_EQ(sink.Find("rpc"), nullptr);
+  EXPECT_EQ(sink.instant_count("tcp/rexmit"), 0u);
+}
+
+}  // namespace
+}  // namespace psd

@@ -120,6 +120,10 @@ int main(int argc, char** argv) {
     fprintf(stderr, "protolat run did not complete\n");
     return 1;
   }
+  if (sink.span_count() == 0) {
+    fprintf(stderr, "trace is empty: no spans recorded (is tracing compiled out?)\n");
+    return 1;
+  }
 
   std::ofstream os(out_path, std::ios::binary);
   if (!os) {
@@ -127,6 +131,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   sink.WriteJson(os);
+  os.flush();
+  if (!os) {
+    fprintf(stderr, "write to %s failed (disk full or path not writable?)\n", out_path.c_str());
+    return 1;
+  }
   os.close();
 
   printf("%s %s %zuB x%d: rtt %.3f ms, %zu events -> %s\n", ConfigName(config),
