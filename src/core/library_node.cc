@@ -88,7 +88,11 @@ void ProtocolLibrary::InputBody() {
       if (!pkt_port_.Receive(&msg)) {
         continue;
       }
-      stack_->InputFrame(msg.payload);
+      // Re-attach the packet id the kernel stashed in arg[5]: the payload
+      // vector crossed the port without its Frame metadata.
+      Frame f(std::move(msg.payload));
+      f.pkt_id = msg.arg[5];
+      stack_->InputFrame(f);
     }
   } else {
     Frame f;

@@ -5,6 +5,7 @@
 #include "src/api/kernel_node.h"
 #include "src/base/log.h"
 #include "src/filter/session_filter.h"
+#include "src/obs/journey.h"
 #include "src/obs/stats.h"
 #include "src/obs/trace.h"
 
@@ -102,7 +103,9 @@ void NetServer::InputBody() {
     if (!packet_port_.Receive(&msg)) {
       continue;
     }
-    stack_->InputFrame(msg.payload);
+    Frame f(std::move(msg.payload));
+    f.pkt_id = msg.arg[5];
+    stack_->InputFrame(f);
   }
 }
 
@@ -696,6 +699,30 @@ void NetServer::OnProcessDeath(uint64_t lib_id) {
       s.sock->Close();
     }
     it = sessions_.erase(it);
+  }
+  // Frames already demuxed to the dead process sit in its delivery
+  // endpoint with no receiver left; account each one or the journey
+  // conservation law would call them in-flight forever.
+  auto lib = libraries_.find(lib_id);
+  if (lib != libraries_.end()) {
+    const DeliveryEndpoint& ep = lib->second.endpoint;
+    SimTime now = host_->sim()->Now();
+    if (ep.queue != nullptr) {
+      Frame f;
+      while (ep.queue->TryPop(&f)) {
+        DropLedger::Get().Record(f.pkt_id, TraceLayer::kCore, DropReason::kCrashCleanup, now,
+                                 ep.queue->name());
+      }
+    }
+    if (ep.port != nullptr) {
+      IpcMessage pending;
+      while (ep.port->DrainOne(&pending)) {
+        if (pending.kind == kMsgPacketDelivery) {
+          DropLedger::Get().Record(pending.arg[5], TraceLayer::kCore, DropReason::kCrashCleanup,
+                                   now, ep.port->name());
+        }
+      }
+    }
   }
   libraries_.erase(lib_id);
   if (tracer_ != nullptr && tracer_->enabled()) {

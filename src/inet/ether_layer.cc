@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/base/bytes.h"
+#include "src/obs/journey.h"
 
 namespace psd {
 
@@ -20,6 +21,9 @@ Result<void> EtherLayer::OutputIp(Chain pkt, Ipv4Addr next_hop) {
       return OkResult();  // resolver owns the packet now
     case MacResolver::Status::kFail:
       unresolved_drops_++;
+      // Tx-side: the packet dies before a frame (and its id) exists.
+      DropLedger::Get().Record(0, TraceLayer::kInet, DropReason::kEtherUnresolved, env_->Now(),
+                               env_->node_name);
       return Err::kHostUnreach;
   }
   OutputRaw(dst, kEtherTypeIpv4, std::move(pkt));
@@ -34,7 +38,15 @@ void EtherLayer::OutputRaw(MacAddr dst, uint16_t ethertype, Chain payload) {
   std::memcpy(h + 6, self_.b.data(), 6);
   Store16(h + 12, ethertype);
   tx_frames_++;
-  env_->send_frame(payload.ToVector());
+  // Origin of every stack-emitted frame: mint the packet id here so the
+  // whole delivery chain (wire, kernel, peer stack) correlates on it.
+  Frame f(payload.ToVector());
+  f.pkt_id = PacketJourney::Get().Mint();
+  if (f.pkt_id != 0) {
+    PacketJourney::Get().Hop(f.pkt_id, TraceLayer::kInet, env_->node_name + "/tx", env_->Now(),
+                             f.size());
+  }
+  env_->send_frame(std::move(f));
 }
 
 bool EtherLayer::Parse(const Frame& f, RxFrame* out) {

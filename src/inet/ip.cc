@@ -5,6 +5,7 @@
 #include "src/base/bytes.h"
 #include "src/base/checksum.h"
 #include "src/base/log.h"
+#include "src/obs/journey.h"
 
 namespace psd {
 
@@ -43,6 +44,9 @@ Result<void> IpLayer::Output(Chain payload, IpProto proto, Ipv4Addr src, Ipv4Add
   }
   if (!next_hop) {
     stats_.no_route++;
+    // Tx-side: dies before a frame exists, so no packet id yet.
+    DropLedger::Get().Record(0, TraceLayer::kInet, DropReason::kIpNoRoute, env_->Now(),
+                             env_->node_name);
     return Err::kNetUnreach;
   }
 
@@ -94,16 +98,22 @@ void IpLayer::Input(Chain pkt) {
   const uint8_t* h = pkt.Pullup(kIpHeaderLen);
   if (h == nullptr || h[0] != 0x45) {
     stats_.bad_header++;
+    DropLedger::Get().Record(env_->cur_rx_pkt, TraceLayer::kInet, DropReason::kIpBadHeader,
+                             env_->Now(), env_->node_name);
     return;
   }
   env_->Charge(kIpHeaderLen * env_->prof->checksum_per_byte);
   if (InternetChecksum(h, kIpHeaderLen) != 0) {
     stats_.bad_checksum++;
+    DropLedger::Get().Record(env_->cur_rx_pkt, TraceLayer::kInet, DropReason::kIpBadChecksum,
+                             env_->Now(), env_->node_name);
     return;
   }
   uint16_t total_len = Load16(h + 2);
   if (total_len < kIpHeaderLen || total_len > pkt.len()) {
     stats_.bad_header++;
+    DropLedger::Get().Record(env_->cur_rx_pkt, TraceLayer::kInet, DropReason::kIpBadHeader,
+                             env_->Now(), env_->node_name);
     return;
   }
   uint16_t id = Load16(h + 4);
@@ -114,6 +124,8 @@ void IpLayer::Input(Chain pkt) {
 
   if (!(dst == my_ip_) && !(dst == Ipv4Addr::Broadcast())) {
     stats_.not_ours++;
+    DropLedger::Get().Record(env_->cur_rx_pkt, TraceLayer::kInet, DropReason::kIpNotOurs,
+                             env_->Now(), env_->node_name);
     return;
   }
 
@@ -185,6 +197,8 @@ void IpLayer::DeliverLocal(Chain payload, IpProto proto, Ipv4Addr src, Ipv4Addr 
   auto it = handlers_.find(static_cast<uint8_t>(proto));
   if (it == handlers_.end()) {
     stats_.no_proto++;
+    DropLedger::Get().Record(env_->cur_rx_pkt, TraceLayer::kInet, DropReason::kIpNoProto,
+                             env_->Now(), env_->node_name);
     return;
   }
   stats_.delivered++;
@@ -195,6 +209,10 @@ void IpLayer::SlowTick() {
   for (auto it = reasm_.begin(); it != reasm_.end();) {
     if (env_->Now() >= it->second.deadline) {
       stats_.reassembly_timeouts++;
+      // Timer context: the fragments' own ids were consumed at input; the
+      // timeout is a whole-datagram loss with no single frame to blame.
+      DropLedger::Get().Record(0, TraceLayer::kInet, DropReason::kIpReassemblyTimeout,
+                               env_->Now(), env_->node_name);
       it = reasm_.erase(it);
     } else {
       ++it;

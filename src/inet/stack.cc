@@ -1,6 +1,7 @@
 #include "src/inet/stack.h"
 
 #include "src/base/log.h"
+#include "src/obs/journey.h"
 #include "src/obs/stats.h"
 
 namespace psd {
@@ -21,6 +22,7 @@ Stack::Stack(const StackParams& params)
       udp_(&env_, &ip_, &icmp_, &ports_),
       tcp_(&env_, &ip_, &ports_),
       timer_kick_(params.sim) {
+  env_.node_name = name_;
   if (params.with_arp) {
     arp_ = std::make_unique<ArpLayer>(&env_, &ether_, params.ip);
     ether_.SetResolver(arp_.get());
@@ -37,6 +39,8 @@ Stack::~Stack() {
 void Stack::InputFrame(const Frame& frame) {
   DomainLock lock(&sync_);
   frames_in_++;
+  env_.cur_rx_pkt = frame.pkt_id;
+  PacketJourney::Get().Hop(frame.pkt_id, TraceLayer::kInet, name_, env_.Now());
   {
     ProbeSpan span(env_.tracer, env_.sim, Stage::kNetisrFilter);
     env_.Charge(env_.prof->netisr_fixed);
@@ -52,6 +56,9 @@ void Stack::InputFrame(const Frame& frame) {
     env_.sync->ChargeSyncPair();
     if (!EtherLayer::Parse(frame, &rx)) {
       ether_bad_frames_++;
+      DropLedger::Get().Record(env_.cur_rx_pkt, TraceLayer::kInet, DropReason::kEtherBadFrame,
+                               env_.Now(), name_);
+      env_.cur_rx_pkt = 0;
       return;
     }
   }
@@ -61,7 +68,15 @@ void Stack::InputFrame(const Frame& frame) {
     }
   } else if (rx.ethertype == kEtherTypeIpv4) {
     ip_.Input(std::move(rx.payload));
+  } else {
+    DropLedger::Get().Record(env_.cur_rx_pkt, TraceLayer::kInet, DropReason::kEtherUnknownType,
+                             env_.Now(), name_);
   }
+  // Whatever the protocols did not explicitly deliver or drop was absorbed
+  // here: pure ACKs, ARP traffic, handshake segments, ICMP, fragments
+  // parked in reassembly. One catch-all keeps the conservation law exact.
+  PacketJourney::Get().ConsumeIfOpen(env_.cur_rx_pkt, TraceLayer::kInet, name_, env_.Now());
+  env_.cur_rx_pkt = 0;
   // Activity may have armed timers.
   if (timer_idle_) {
     timer_kick_.NotifyOne();

@@ -13,6 +13,7 @@
 #define PSD_SRC_INET_STACK_ENV_H_
 
 #include <functional>
+#include <string>
 
 #include "src/base/result.h"
 #include "src/cost/machine_profile.h"
@@ -102,6 +103,15 @@ struct StackEnv {
   // (in-kernel: direct device transmit; library/server: net-send syscall
   // that traps and copies into a wired buffer).
   std::function<void(Frame)> send_frame;
+
+  // Packet id of the frame currently being processed by Stack::InputFrame
+  // (0 outside input processing). Input runs synchronously under the domain
+  // lock, so one slot per stack is exact; protocol drop sites read it to
+  // attribute the drop to the right journey without threading an id through
+  // every Input() signature.
+  uint64_t cur_rx_pkt = 0;
+  // Human name for this stack instance in journey/ledger records.
+  std::string node_name;
 
   SimThread* self() const { return sim->current_thread(); }
   void Charge(SimDuration d) const {

@@ -9,6 +9,7 @@
 #include "src/base/checksum.h"
 #include "src/base/log.h"
 #include "src/inet/tcp.h"
+#include "src/obs/journey.h"
 
 namespace psd {
 
@@ -62,12 +63,21 @@ void TcpLayer::Input(Chain seg, Ipv4Addr src, Ipv4Addr dst) {
   }
   stats_.segs_received++;
 
+  // Shorthand: every discard in this function funnels through the ledger
+  // with the id of the frame being processed (0 outside input context).
+  auto drop = [this](DropReason reason) {
+    DropLedger::Get().Record(env_->cur_rx_pkt, TraceLayer::kInet, reason, env_->Now(),
+                             env_->node_name);
+  };
+
   if (seg.len() < kTcpHeaderLen) {
+    drop(DropReason::kTcpBadLength);
     return;
   }
   env_->Charge(static_cast<SimDuration>(seg.len()) * env_->prof->checksum_per_byte);
   if (TcpChecksum(seg, src, dst) != 0) {
     stats_.bad_checksum++;
+    drop(DropReason::kTcpBadChecksum);
     return;
   }
   const uint8_t* h = seg.Pullup(kTcpHeaderLen);
@@ -80,6 +90,7 @@ void TcpLayer::Input(Chain seg, Ipv4Addr src, Ipv4Addr dst) {
   uint32_t win = Load16(h + 14);
   uint32_t urp = Load16(h + 18);
   if (hdrlen < kTcpHeaderLen || hdrlen > seg.len()) {
+    drop(DropReason::kTcpBadLength);
     return;
   }
 
@@ -136,8 +147,12 @@ void TcpLayer::Input(Chain seg, Ipv4Addr src, Ipv4Addr dst) {
     if (pcb == nullptr) {
       stats_.dropped_no_pcb++;
       if (rst_suppress_ != nullptr && rst_suppress_(local, remote)) {
-        return;  // tuple is owned by another placement (migration handover)
+        // Tuple is owned by another placement (migration handover): the
+        // stray dies silently and retransmission recovers after handover.
+        drop(DropReason::kMigrationWindow);
+        return;
       }
+      drop(DropReason::kTcpNoPcb);
       drop_with_reset();
       return;
     }
@@ -157,6 +172,7 @@ void TcpLayer::Input(Chain seg, Ipv4Addr src, Ipv4Addr dst) {
   pcb->segs_in++;
 
   if (pcb->state == TcpState::kClosed) {
+    drop(DropReason::kTcpUnacceptable);
     drop_with_reset();
     return;
   }
@@ -164,16 +180,20 @@ void TcpLayer::Input(Chain seg, Ipv4Addr src, Ipv4Addr dst) {
   // ---- LISTEN ----
   if (pcb->state == TcpState::kListen) {
     if (flags & kTcpRst) {
+      drop(DropReason::kTcpUnacceptable);
       return;
     }
     if (flags & kTcpAck) {
+      drop(DropReason::kTcpUnacceptable);
       drop_with_reset();
       return;
     }
     if (!(flags & kTcpSyn)) {
+      drop(DropReason::kTcpUnacceptable);
       return;
     }
     if (pcb->embryonic + static_cast<int>(pcb->accept_ready.size()) >= pcb->backlog) {
+      drop(DropReason::kTcpListenOverflow);
       return;  // queue full: drop the SYN, let the peer retry
     }
     TcpPcb* child = Create();
@@ -221,6 +241,7 @@ void TcpLayer::Input(Chain seg, Ipv4Addr src, Ipv4Addr dst) {
   // ---- SYN_SENT ----
   if (pcb->state == TcpState::kSynSent) {
     if ((flags & kTcpAck) && (SeqLeq(ack, pcb->iss) || SeqGt(ack, pcb->snd_max))) {
+      drop(DropReason::kTcpUnacceptable);
       drop_with_reset();
       return;
     }
@@ -231,10 +252,12 @@ void TcpLayer::Input(Chain seg, Ipv4Addr src, Ipv4Addr dst) {
       return;
     }
     if (!(flags & kTcpSyn)) {
+      drop(DropReason::kTcpUnacceptable);
       return;
     }
     if (!(flags & kTcpAck)) {
       // Simultaneous open: unsupported (documented omission).
+      drop(DropReason::kTcpUnacceptable);
       return;
     }
     pcb->snd_una = ack;
@@ -283,6 +306,7 @@ void TcpLayer::Input(Chain seg, Ipv4Addr src, Ipv4Addr dst) {
       if (todrop > static_cast<int64_t>(tlen) ||
           (todrop == static_cast<int64_t>(tlen) && !(flags & kTcpFin))) {
         // Complete duplicate: ack it and drop.
+        drop(DropReason::kTcpSeqTrim);
         pcb->ack_now = true;
         Output(pcb);
         return;
@@ -314,6 +338,8 @@ void TcpLayer::Input(Chain seg, Ipv4Addr src, Ipv4Addr dst) {
           }
           flags &= ~(kTcpFin | kTcpPsh);
         } else {
+          // Entirely outside the receive window: ack and discard.
+          drop(DropReason::kTcpOutOfWindow);
           pcb->ack_now = true;
           Output(pcb);
           return;
@@ -353,6 +379,7 @@ void TcpLayer::Input(Chain seg, Ipv4Addr src, Ipv4Addr dst) {
 
     // ---- SYN inside the window: fatal ----
     if (flags & kTcpSyn) {
+      drop(DropReason::kTcpUnacceptable);
       Respond(pcb, pcb->local, pcb->remote, pcb->snd_nxt, pcb->rcv_nxt, kTcpRst | kTcpAck);
       stats_.rsts_sent++;
       DropConnection(pcb, Err::kConnReset);
@@ -366,6 +393,7 @@ void TcpLayer::Input(Chain seg, Ipv4Addr src, Ipv4Addr dst) {
     // ---- ACK processing ----
     if (pcb->state == TcpState::kSynRcvd) {
       if (SeqGt(pcb->snd_una, ack) || SeqGt(ack, pcb->snd_max)) {
+        drop(DropReason::kTcpUnacceptable);
         drop_with_reset();
         return;
       }
@@ -551,16 +579,27 @@ void TcpLayer::Input(Chain seg, Ipv4Addr src, Ipv4Addr dst) {
         env_->Charge(env_->prof->sbqueue_fixed);
         if (!pcb->cantrcvmore) {
           pcb->rcv.AppendStream(std::move(seg));
+          PacketJourney::Get().Deliver(env_->cur_rx_pkt, TraceLayer::kSock, env_->node_name,
+                                       env_->Now());
           if (pcb->rcv_wakeup) {
             pcb->rcv_wakeup();
           }
+        } else {
+          drop(DropReason::kTcpAfterClose);
         }
       } else {
         if (seq != pcb->rcv_nxt) {
           stats_.out_of_order++;
         }
         InsertReassembly(pcb, seq, std::move(seg));
+        size_t before = pcb->rcv.cc();
         ReassemblyDrain(pcb);
+        // If this segment filled the gap, its data (and earlier parked
+        // segments') reached the sockbuf now; credit the gap-filler.
+        if (pcb->rcv.cc() > before) {
+          PacketJourney::Get().Deliver(env_->cur_rx_pkt, TraceLayer::kSock, env_->node_name,
+                                       env_->Now());
+        }
         pcb->ack_now = true;
       }
     }

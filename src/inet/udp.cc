@@ -6,6 +6,7 @@
 #include "src/base/bytes.h"
 #include "src/base/checksum.h"
 #include "src/base/log.h"
+#include "src/obs/journey.h"
 
 namespace psd {
 
@@ -163,6 +164,8 @@ void UdpLayer::Input(Chain dgram, Ipv4Addr src, Ipv4Addr dst) {
   }
 
   if (dgram.len() < kUdpHeaderLen) {
+    DropLedger::Get().Record(env_->cur_rx_pkt, TraceLayer::kInet, DropReason::kUdpBadLength,
+                             env_->Now(), env_->node_name);
     return;
   }
   const uint8_t* h = dgram.Pullup(kUdpHeaderLen);
@@ -171,6 +174,8 @@ void UdpLayer::Input(Chain dgram, Ipv4Addr src, Ipv4Addr dst) {
   uint16_t ulen = Load16(h + 4);
   uint16_t sum = Load16(h + 6);
   if (ulen < kUdpHeaderLen || ulen > dgram.len()) {
+    DropLedger::Get().Record(env_->cur_rx_pkt, TraceLayer::kInet, DropReason::kUdpBadLength,
+                             env_->Now(), env_->node_name);
     return;
   }
   if (dgram.len() > ulen) {
@@ -179,6 +184,8 @@ void UdpLayer::Input(Chain dgram, Ipv4Addr src, Ipv4Addr dst) {
   env_->Charge(static_cast<SimDuration>(dgram.len()) * env_->prof->checksum_per_byte);
   if (sum != 0 && UdpChecksum(dgram, src, dst) != 0) {
     stats_.bad_checksum++;
+    DropLedger::Get().Record(env_->cur_rx_pkt, TraceLayer::kInet, DropReason::kUdpBadChecksum,
+                             env_->Now(), env_->node_name);
     return;
   }
   stats_.received++;
@@ -186,6 +193,8 @@ void UdpLayer::Input(Chain dgram, Ipv4Addr src, Ipv4Addr dst) {
   UdpPcb* pcb = Demux(SockAddrIn{dst, dport}, SockAddrIn{src, sport});
   if (pcb == nullptr) {
     stats_.no_port++;
+    DropLedger::Get().Record(env_->cur_rx_pkt, TraceLayer::kInet, DropReason::kUdpNoPort,
+                             env_->Now(), env_->node_name);
     if (!(dst == Ipv4Addr::Broadcast())) {
       icmp_->SendUnreachable(IcmpUnreachCode::kPort, dgram, IpProto::kUdp, src, dst);
     }
@@ -196,8 +205,12 @@ void UdpLayer::Input(Chain dgram, Ipv4Addr src, Ipv4Addr dst) {
   if (!pcb->rcv.AppendDgram(SockAddrIn{src, sport}, std::move(dgram))) {
     pcb->drops_full++;
     stats_.full_drops++;
+    DropLedger::Get().Record(env_->cur_rx_pkt, TraceLayer::kSock, DropReason::kUdpBufferFull,
+                             env_->Now(), env_->node_name);
     return;
   }
+  PacketJourney::Get().Deliver(env_->cur_rx_pkt, TraceLayer::kSock, env_->node_name,
+                               env_->Now());
   if (pcb->rcv_wakeup) {
     pcb->rcv_wakeup();
   }

@@ -83,6 +83,17 @@ class Port {
   // Returns false on timeout. Charges receive-side IPC costs.
   bool Receive(IpcMessage* out, SimTime deadline = kTimeNever);
 
+  // Dequeues without blocking or charging (crash cleanup: the receiver is
+  // dead, nobody pays for these messages). Returns false when empty.
+  bool DrainOne(IpcMessage* out) {
+    if (queue_.empty()) {
+      return false;
+    }
+    *out = std::move(queue_.front());
+    queue_.pop_front();
+    return true;
+  }
+
   size_t queued() const { return queue_.size(); }
   const std::string& name() const { return name_; }
   Simulator* simulator() const { return sim_; }

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "src/base/log.h"
+#include "src/obs/journey.h"
 #include "src/obs/pcap.h"
 #include "src/obs/stats.h"
 #include "src/obs/trace.h"
@@ -53,6 +54,16 @@ void Kernel::ExportStats(StatsRegistry* reg, const std::string& prefix) const {
   reg->RegisterGauge(prefix + "filter_insns", [this] { return filter_insns_; });
   reg->RegisterGauge(prefix + "demux_classifies", [this] { return demux_classifies_; });
   reg->RegisterGauge(prefix + "rx_flow_hits", [this] { return rx_flow_hits_; });
+  // Per-queue delivery gauges: depth and drops were previously only visible
+  // inside the PacketQueue object; the high-watermark sizes capacities.
+  for (const auto& q : queues_) {
+    PacketQueue* pq = q.get();
+    reg->RegisterGauge(prefix + pq->name() + ".dropped", [pq] { return pq->dropped(); });
+    reg->RegisterGauge(prefix + pq->name() + ".depth",
+                       [pq] { return static_cast<uint64_t>(pq->size()); });
+    reg->RegisterGauge(prefix + pq->name() + ".high_watermark",
+                       [pq] { return pq->high_watermark(); });
+  }
 }
 
 void Kernel::NetSendFromUser(Frame frame) {
@@ -63,6 +74,7 @@ void Kernel::NetSendFromUser(Frame frame) {
   self->Charge(prof_->trap);
   // Copy from user space into a wired kernel buffer.
   Frame wired(frame.begin(), frame.end());
+  wired.pkt_id = frame.pkt_id;
   self->Charge(static_cast<SimDuration>(wired.size()) * prof_->copy_per_byte);
   nic_->Transmit(std::move(wired));
 }
@@ -124,6 +136,8 @@ void Kernel::DeliverFrame() {
     Frame f = nic_->RxPop();
     if (m.id == 0) {
       rx_unmatched_++;
+      DropLedger::Get().Record(f.pkt_id, TraceLayer::kFilter, DropReason::kNoFilterMatch,
+                               sim_->Now(), name_);
       return;
     }
     auto epit = endpoints_.find(m.id);
@@ -131,8 +145,11 @@ void Kernel::DeliverFrame() {
       // The filter was removed while this frame was in flight (session
       // migration handover); drop, retransmission recovers.
       rx_unmatched_++;
+      DropLedger::Get().Record(f.pkt_id, TraceLayer::kFilter, DropReason::kFilterRemoved,
+                               sim_->Now(), name_);
       return;
     }
+    PacketJourney::Get().Hop(f.pkt_id, TraceLayer::kKern, name_ + "/ipf-deliver", sim_->Now());
     const DeliveryEndpoint& ep = epit->second;
 #ifndef PSD_OBS_DISABLE_PCAP
     if (pcap_ != nullptr) {
@@ -151,6 +168,7 @@ void Kernel::DeliverFrame() {
       case DeliverKind::kIpc: {
         IpcMessage msg;
         msg.kind = kMsgPacketDelivery;
+        msg.arg[5] = f.pkt_id;  // ids survive the port crossing out of band
         msg.payload = std::move(f);
         ep.port->Send(std::move(msg));
         break;
@@ -173,13 +191,18 @@ void Kernel::DeliverFrame() {
   FilterEngine::MatchResult m = run_filter(f);
   if (m.id == 0) {
     rx_unmatched_++;
+    DropLedger::Get().Record(f.pkt_id, TraceLayer::kFilter, DropReason::kNoFilterMatch,
+                             sim_->Now(), name_);
     return;
   }
   auto epit = endpoints_.find(m.id);
   if (epit == endpoints_.end()) {
     rx_unmatched_++;
+    DropLedger::Get().Record(f.pkt_id, TraceLayer::kFilter, DropReason::kFilterRemoved,
+                             sim_->Now(), name_);
     return;
   }
+  PacketJourney::Get().Hop(f.pkt_id, TraceLayer::kKern, name_ + "/deliver", sim_->Now());
   const DeliveryEndpoint& ep = epit->second;
 #ifndef PSD_OBS_DISABLE_PCAP
   if (pcap_ != nullptr) {
@@ -196,6 +219,7 @@ void Kernel::DeliverFrame() {
       // Kernel buffer -> shared-memory ring.
       self->Charge(static_cast<SimDuration>(f.size()) * prof_->copy_per_byte);
       Frame shared(f.begin(), f.end());
+      shared.pkt_id = f.pkt_id;
       ep.queue->Push(std::move(shared));
       break;
     }
@@ -206,6 +230,7 @@ void Kernel::DeliverFrame() {
       ProbeSpan span(tracer_, sim_, Stage::kKernelCopyout);
       IpcMessage msg;
       msg.kind = kMsgPacketDelivery;
+      msg.arg[5] = f.pkt_id;
       msg.payload = std::move(f);
       ep.port->Send(std::move(msg));
       break;

@@ -19,6 +19,7 @@
 
 #include "src/base/time.h"
 #include "src/netsim/ether.h"
+#include "src/obs/journey.h"
 #include "src/sim/simulator.h"
 
 namespace psd {
@@ -38,9 +39,14 @@ class PacketQueue {
   bool Push(Frame f) {
     if (queue_.size() >= capacity_) {
       dropped_++;
+      DropLedger::Get().Record(f.pkt_id, TraceLayer::kKern, DropReason::kQueueOverflow,
+                               sim_->Now(), name_);
       return false;
     }
     queue_.push_back(std::move(f));
+    if (queue_.size() > high_watermark_) {
+      high_watermark_ = queue_.size();
+    }
     if (consumer_waiting_) {
       if (signal_cost_ > 0) {
         SimThread* self = sim_->current_thread();
@@ -94,6 +100,8 @@ class PacketQueue {
   bool empty() const { return queue_.empty(); }
   uint64_t dropped() const { return dropped_; }
   uint64_t popped() const { return popped_; }
+  // Deepest the queue has ever been (frames), for sizing capacity.
+  uint64_t high_watermark() const { return high_watermark_; }
   // Wakeups actually delivered; popped/signals is the batching factor.
   uint64_t signals() const { return signals_; }
   const std::string& name() const { return name_; }
@@ -109,6 +117,7 @@ class PacketQueue {
   uint64_t dropped_ = 0;
   uint64_t popped_ = 0;
   uint64_t signals_ = 0;
+  uint64_t high_watermark_ = 0;
 };
 
 }  // namespace psd

@@ -47,7 +47,21 @@ struct MacAddr {
 
 // A full Ethernet frame: dst(6) src(6) ethertype(2) payload. No FCS; the
 // wire model accounts for its 4 bytes of serialization time.
-using Frame = std::vector<uint8_t>;
+//
+// Carries an out-of-band packet id (src/obs/journey.h) minted at the frame's
+// origin — stack output or test wire injection — and preserved across every
+// copy/move the delivery paths make (NIC rings, kernel queues, SHM rings).
+// The id is observability metadata only: it never reaches the wire encoding,
+// never affects protocol behavior, and is 0 for frames nobody minted.
+struct Frame : public std::vector<uint8_t> {
+  using Base = std::vector<uint8_t>;
+  using Base::Base;
+  Frame() = default;
+  Frame(const Base& b) : Base(b) {}       // NOLINT(runtime/explicit)
+  Frame(Base&& b) : Base(std::move(b)) {}  // NOLINT(runtime/explicit)
+
+  uint64_t pkt_id = 0;
+};
 
 constexpr size_t kEtherHeaderLen = 14;
 constexpr uint16_t kEtherTypeIpv4 = 0x0800;

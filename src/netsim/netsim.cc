@@ -4,6 +4,7 @@
 #include "src/base/log.h"
 #include "src/netsim/nic.h"
 #include "src/netsim/segment.h"
+#include "src/obs/journey.h"
 #include "src/obs/pcap.h"
 #include "src/obs/trace.h"
 
@@ -14,6 +15,16 @@ void EthernetSegment::Transmit(Nic* src, Frame frame, std::function<void()> done
   SimTime end = start + WireTime(frame.size());
   medium_free_at_ = end;
   frames_carried_++;
+  // Frames injected straight onto the wire (tests, raw tools) have no id
+  // yet; mint here so every frame the segment carries is traceable.
+  if (frame.pkt_id == 0) {
+    frame.pkt_id = PacketJourney::Get().Mint();
+    if (frame.pkt_id != 0) {
+      PacketJourney::Get().Hop(frame.pkt_id, TraceLayer::kWire, "wire/inject", start,
+                               frame.size());
+    }
+  }
+  PacketJourney::Get().Hop(frame.pkt_id, TraceLayer::kWire, "wire/transmit", start);
   if (tracer_ != nullptr && tracer_->enabled()) {
     tracer_->Emit(sim_, "wire/transmit", TraceLayer::kWire, /*stage=*/-1, start, end - start);
   }
@@ -25,6 +36,8 @@ void EthernetSegment::Transmit(Nic* src, Frame frame, std::function<void()> done
 
   if (faults_.loss_rate > 0 && rng_.Chance(faults_.loss_rate)) {
     frames_dropped_++;
+    DropLedger::Get().Record(frame.pkt_id, TraceLayer::kWire, DropReason::kWireFault, end,
+                             "wire");
     if (tracer_ != nullptr && tracer_->enabled()) {
       tracer_->Instant(sim_, "wire/drop", TraceLayer::kWire);
     }
@@ -37,10 +50,29 @@ void EthernetSegment::Transmit(Nic* src, Frame frame, std::function<void()> done
   SimTime deliver_at = end;
   if (faults_.delay_rate > 0 && rng_.Chance(faults_.delay_rate)) {
     deliver_at += faults_.extra_delay;
+    // Not a drop: the frame still arrives, just late (reordered).
+    DropLedger::Get().Record(frame.pkt_id, TraceLayer::kWire, DropReason::kWireDelay, deliver_at,
+                             "wire");
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->Instant(sim_, "wire/delay", TraceLayer::kWire);
+    }
   }
   Deliver(src, frame, deliver_at);
   if (faults_.dup_rate > 0 && rng_.Chance(faults_.dup_rate)) {
-    Deliver(src, frame, deliver_at + WireTime(frame.size()));
+    // The duplicate is its own packet: new id, aux links back to the
+    // original so pktwalk can show the clone relationship.
+    Frame dup = frame;
+    uint64_t parent = frame.pkt_id;
+    dup.pkt_id = PacketJourney::Get().Mint();
+    if (dup.pkt_id != 0) {
+      PacketJourney::Get().Hop(dup.pkt_id, TraceLayer::kWire, "wire/dup", deliver_at, parent);
+    }
+    DropLedger::Get().Record(dup.pkt_id, TraceLayer::kWire, DropReason::kWireDup, deliver_at,
+                             "wire");
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->Instant(sim_, "wire/dup", TraceLayer::kWire);
+    }
+    Deliver(src, dup, deliver_at + WireTime(dup.size()));
   }
   if (done) {
     sim_->Schedule(end, std::move(done));
@@ -77,10 +109,13 @@ void Nic::DeliverFromWire(const Frame& frame) {
   }
   if (rx_ring_.size() >= params_.rx_ring_frames) {
     rx_dropped_++;
+    DropLedger::Get().Record(frame.pkt_id, TraceLayer::kWire, DropReason::kNicRingOverflow,
+                             sim_->Now(), name_);
     PSD_LOG(kDebug) << name_ << ": rx ring overflow, frame dropped";
     return;
   }
   rx_frames_++;
+  PacketJourney::Get().Hop(frame.pkt_id, TraceLayer::kWire, name_, sim_->Now());
   bool was_empty = rx_ring_.empty();
   rx_ring_.push_back(frame);
   if (was_empty && rx_notify_) {

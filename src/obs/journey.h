@@ -1,0 +1,313 @@
+// Packet journeys and the unified drop-reason ledger.
+//
+// Every frame gets a unique packet id minted at its origin (stack output or
+// wire injection) and carried through netsim -> NIC -> kernel demux/filter
+// -> IPC/SHM delivery -> ether/ip/tcp/udp -> sockbuf, so tracer spans, pcap
+// records and counters all correlate on one key.
+//
+// Two recorders, both process-wide singletons (the layers that drop packets
+// do not share an obs handle, exactly like StatsRegistry's gauges):
+//
+//  * DropLedger    — one DropReason taxonomy for every drop site in
+//                    netsim/kern/filter/ipc/inet/sock/core. Exact per-reason
+//                    totals (registerable as StatsRegistry gauges) plus a
+//                    bounded ring of recent drop events. Tests assert each
+//                    legacy drop counter equals the sum of its ledger
+//                    reasons, so the taxonomy cannot drift.
+//  * PacketJourney — per-packet hop records (layer, node, virtual timestamp,
+//                    disposition) in a bounded ring, plus one terminal
+//                    disposition per packet id. The conservation law: every
+//                    minted id ends in exactly one of delivered / consumed /
+//                    dropped(reason), or is still in flight at exit.
+//
+// Recording charges no simulated cost — Table 2/3/4 outputs are
+// byte-identical with the recorder running (asserted in tests). Compiles out
+// under PSD_OBS_DISABLE_JOURNEY (mirroring PSD_OBS_DISABLE_TRACING); both
+// recorders also have a runtime kill switch (set_enabled).
+//
+// Reset contract: both singletons accumulate across Worlds in one process.
+// Tests and tools that reason about one run must Reset() before it starts.
+#ifndef PSD_SRC_OBS_JOURNEY_H_
+#define PSD_SRC_OBS_JOURNEY_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/obs/trace.h"
+
+namespace psd {
+
+class StatsRegistry;
+
+// Why a frame died (or, for the kWire* event reasons, what the fault
+// injector did to it without killing it). Grouped by the layer that owns
+// the drop site; see DESIGN.md §6 for the full taxonomy table.
+enum class DropReason : uint8_t {
+  kNone = 0,
+  // wire / NIC (netsim)
+  kWireFault,         // fault injector discarded the frame on the segment
+  kNicRingOverflow,   // device rx ring full
+  // kernel demux (kern / filter)
+  kNoFilterMatch,     // no installed filter program claimed the frame
+  kFilterRemoved,     // filter removed while the frame was in flight
+  kQueueOverflow,     // bounded delivery PacketQueue full
+  kCrashCleanup,      // frames discarded when their owning process died
+  // ether (inet)
+  kEtherBadFrame,     // frame too short to parse
+  kEtherUnknownType,  // ethertype neither IPv4 nor ARP
+  kEtherUnresolved,   // tx: next hop MAC unresolvable
+  // ip
+  kIpBadHeader,
+  kIpBadChecksum,
+  kIpNotOurs,           // destination is another host
+  kIpNoRoute,           // tx: no route to destination
+  kIpNoProto,           // no handler for the IP protocol number
+  kIpReassemblyTimeout, // fragment aged out of the reassembly map
+  // udp
+  kUdpBadLength,   // short datagram or inconsistent length field
+  kUdpBadChecksum,
+  kUdpNoPort,      // no socket bound to the destination port
+  kUdpBufferFull,  // receive sockbuf full
+  // tcp / sock
+  kTcpBadLength,   // short segment or bad header length
+  kTcpBadChecksum,
+  kTcpNoPcb,           // no matching connection (answered with RST)
+  kMigrationWindow,    // stray for a tuple in migration handover (suppressed)
+  kTcpListenOverflow,  // SYN dropped, listen backlog full
+  kTcpUnacceptable,    // state-machine discard (bad LISTEN/SYN_SENT segment,
+                       // closed pcb, in-window SYN, ...)
+  kTcpSeqTrim,         // complete duplicate of already-delivered data
+  kTcpOutOfWindow,     // entirely outside the receive window
+  kTcpAfterClose,      // data after the receiver shut down reading
+  // wire fault-injection events that are NOT drops (IsDropReason == false):
+  // the frame still reaches its receivers.
+  kWireDup,    // fault injector duplicated the frame
+  kWireDelay,  // fault injector added extra delay (reordering)
+  kNumReasons
+};
+
+// Stable kebab-case name ("wire-fault", "migration-window", ...).
+const char* DropReasonName(DropReason r);
+
+// False for the kWireDup/kWireDelay event pseudo-reasons.
+bool IsDropReason(DropReason r);
+
+// Terminal fate of a packet id.
+enum class PktDisposition : uint8_t {
+  kNone = 0,   // still in flight
+  kDelivered,  // payload reached a socket buffer
+  kConsumed,   // absorbed by a protocol layer (ACK, ARP, handshake, ...)
+  kDropped,    // died; reason says why
+};
+
+const char* PktDispositionName(PktDisposition d);
+
+#ifndef PSD_OBS_DISABLE_JOURNEY
+
+struct DropEvent {
+  uint64_t pkt = 0;  // 0 = packet had no id yet (tx-side drop before mint)
+  TraceLayer layer = TraceLayer::kWire;
+  DropReason reason = DropReason::kNone;
+  SimTime at = 0;
+  std::string node;
+};
+
+class DropLedger {
+ public:
+  static DropLedger& Get();
+
+  // Records a whole-frame drop: bumps the per-reason total, appends to the
+  // recent-events ring, and (for pkt != 0) sets the packet's terminal
+  // disposition in PacketJourney. For the kWireDup/kWireDelay event reasons
+  // no terminal is recorded — the frame lives on.
+  void Record(uint64_t pkt, TraceLayer layer, DropReason reason, SimTime at = 0,
+              std::string node = {});
+
+  uint64_t total(DropReason r) const { return totals_[static_cast<size_t>(r)]; }
+  // Sum over real drop reasons (excludes dup/delay events).
+  uint64_t total_drops() const;
+  const std::deque<DropEvent>& recent() const { return recent_; }
+
+  // Registers one gauge per nonzero-capable reason: "<prefix><reason-name>".
+  void ExportStats(StatsRegistry* reg, const std::string& prefix) const;
+
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+  void set_ring_capacity(size_t n) { ring_capacity_ = n; }
+
+  void Reset();
+
+ private:
+  bool enabled_ = true;
+  size_t ring_capacity_ = 1024;
+  uint64_t totals_[static_cast<size_t>(DropReason::kNumReasons)] = {};
+  std::deque<DropEvent> recent_;
+};
+
+struct HopEvent {
+  uint64_t pkt = 0;
+  TraceLayer layer = TraceLayer::kWire;
+  SimTime at = 0;
+  PktDisposition disp = PktDisposition::kNone;  // set on the terminal hop
+  DropReason reason = DropReason::kNone;
+  uint64_t aux = 0;  // frame size at mint, parent id on a dup clone
+  std::string node;
+};
+
+class PacketJourney {
+ public:
+  static PacketJourney& Get();
+
+  // Mints the next packet id (never 0).
+  uint64_t Mint();
+
+  // Records a hop: the packet passed through `node` at layer `layer`.
+  void Hop(uint64_t pkt, TraceLayer layer, std::string node, SimTime at, uint64_t aux = 0);
+
+  // Terminal dispositions. First terminal wins; a second attempt only bumps
+  // conflicts() so tests can assert the conservation law stayed clean.
+  void Deliver(uint64_t pkt, TraceLayer layer, std::string node, SimTime at);
+  void Consume(uint64_t pkt, TraceLayer layer, std::string node, SimTime at);
+  // Called by DropLedger::Record; also usable directly.
+  void Dropped(uint64_t pkt, TraceLayer layer, DropReason reason, std::string node, SimTime at);
+  // Consume only if the packet has no terminal yet (the catch-all at the
+  // end of Stack::InputFrame — pure ACKs, ARP, ICMP, window updates).
+  void ConsumeIfOpen(uint64_t pkt, TraceLayer layer, std::string node, SimTime at);
+
+  bool HasTerminal(uint64_t pkt) const { return terminals_.count(pkt) > 0; }
+  PktDisposition DispositionOf(uint64_t pkt) const;
+  DropReason ReasonOf(uint64_t pkt) const;
+
+  // Queries.
+  uint64_t minted() const { return minted_; }
+  uint64_t delivered() const { return delivered_; }
+  uint64_t consumed() const { return consumed_; }
+  uint64_t dropped() const { return dropped_; }
+  uint64_t in_flight() const { return minted_ - delivered_ - consumed_ - dropped_; }
+  uint64_t conflicts() const { return conflicts_; }
+  const std::deque<HopEvent>& hops() const { return hops_; }
+  // All hop events for one packet, in order (scans the ring).
+  std::vector<HopEvent> JourneyOf(uint64_t pkt) const;
+
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+  void set_hop_capacity(size_t n) { hop_capacity_ = n; }
+
+  void Reset();
+
+ private:
+  struct Terminal {
+    PktDisposition disp;
+    DropReason reason;
+  };
+
+  void SetTerminal(uint64_t pkt, TraceLayer layer, PktDisposition disp, DropReason reason,
+                   std::string node, SimTime at);
+  void PushHop(HopEvent ev);
+
+  bool enabled_ = true;
+  size_t hop_capacity_ = 1 << 16;
+  uint64_t next_id_ = 1;
+  uint64_t minted_ = 0;
+  uint64_t delivered_ = 0;
+  uint64_t consumed_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t conflicts_ = 0;
+  std::deque<HopEvent> hops_;
+  std::unordered_map<uint64_t, Terminal> terminals_;
+};
+
+#else  // PSD_OBS_DISABLE_JOURNEY
+
+struct DropEvent {
+  uint64_t pkt = 0;
+  TraceLayer layer = TraceLayer::kWire;
+  DropReason reason = DropReason::kNone;
+  SimTime at = 0;
+  std::string node;
+};
+
+struct HopEvent {
+  uint64_t pkt = 0;
+  TraceLayer layer = TraceLayer::kWire;
+  SimTime at = 0;
+  PktDisposition disp = PktDisposition::kNone;
+  DropReason reason = DropReason::kNone;
+  uint64_t aux = 0;
+  std::string node;
+};
+
+// No-op stand-ins: same API, zero state, zero code at call sites after
+// inlining. Frames keep their pkt_id field (always 0: Mint returns 0).
+class DropLedger {
+ public:
+  static DropLedger& Get();
+  void Record(uint64_t, TraceLayer, DropReason, SimTime = 0, std::string = {}) {}
+  uint64_t total(DropReason) const { return 0; }
+  uint64_t total_drops() const { return 0; }
+  const std::deque<DropEvent>& recent() const { return recent_; }
+  void ExportStats(StatsRegistry*, const std::string&) const {}
+  void set_enabled(bool) {}
+  bool enabled() const { return false; }
+  void set_ring_capacity(size_t) {}
+  void Reset() {}
+
+ private:
+  std::deque<DropEvent> recent_;
+};
+
+class PacketJourney {
+ public:
+  static PacketJourney& Get();
+  uint64_t Mint() { return 0; }
+  void Hop(uint64_t, TraceLayer, std::string, SimTime, uint64_t = 0) {}
+  void Deliver(uint64_t, TraceLayer, std::string, SimTime) {}
+  void Consume(uint64_t, TraceLayer, std::string, SimTime) {}
+  void Dropped(uint64_t, TraceLayer, DropReason, std::string, SimTime) {}
+  void ConsumeIfOpen(uint64_t, TraceLayer, std::string, SimTime) {}
+  bool HasTerminal(uint64_t) const { return false; }
+  PktDisposition DispositionOf(uint64_t) const { return PktDisposition::kNone; }
+  DropReason ReasonOf(uint64_t) const { return DropReason::kNone; }
+  uint64_t minted() const { return 0; }
+  uint64_t delivered() const { return 0; }
+  uint64_t consumed() const { return 0; }
+  uint64_t dropped() const { return 0; }
+  uint64_t in_flight() const { return 0; }
+  uint64_t conflicts() const { return 0; }
+  const std::deque<HopEvent>& hops() const { return hops_; }
+  std::vector<HopEvent> JourneyOf(uint64_t) const { return {}; }
+  void set_enabled(bool) {}
+  bool enabled() const { return false; }
+  void set_hop_capacity(size_t) {}
+  void Reset() {}
+
+ private:
+  std::deque<HopEvent> hops_;
+};
+
+#endif  // PSD_OBS_DISABLE_JOURNEY
+
+// ---------------------------------------------------------------------------
+// pktwalk rendering (shared by tools/pktwalk and the golden tests). Reads
+// the singletons; deterministic for a deterministic run.
+
+struct PktwalkFilter {
+  uint64_t pkt = 0;        // nonzero: only this packet
+  bool lost_only = false;  // only dropped / in-flight-at-exit packets
+  bool drops_only = false; // only the drop ledger (totals + recent events)
+};
+
+// Terminal disposition string: "delivered", "consumed", "dropped(<reason>)",
+// or "in-flight-at-exit".
+std::string TerminalString(uint64_t pkt);
+
+std::string PktwalkText(const PktwalkFilter& f);
+std::string PktwalkJson(const PktwalkFilter& f);
+
+}  // namespace psd
+
+#endif  // PSD_SRC_OBS_JOURNEY_H_

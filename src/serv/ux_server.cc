@@ -78,7 +78,9 @@ void UxServer::InputBody() {
     if (!packet_port_.Receive(&msg)) {
       continue;
     }
-    stack_->InputFrame(msg.payload);
+    Frame f(std::move(msg.payload));
+    f.pkt_id = msg.arg[5];
+    stack_->InputFrame(f);
   }
 }
 

@@ -22,6 +22,7 @@
 
 #include "bench/common/workloads.h"
 #include "src/obs/histogram.h"
+#include "src/obs/journey.h"
 #include "src/obs/netstat.h"
 #include "src/obs/pcap.h"
 #include "src/obs/stats.h"
@@ -199,8 +200,12 @@ int main(int argc, char** argv) {
     w.ExportWireStats(&reg);
     std::vector<StatsRegistry::Entry> entries = reg.Snapshot();
     reg.Reset();
-    AppendSessionCounters(w, 0, &entries);
-    AppendSessionCounters(w, 1, &entries);
+    if (!terse) {
+      // --terse asks for the aggregate picture only; per-session rows are
+      // also the one block NetstatText's skip-zero filter can't thin out.
+      AppendSessionCounters(w, 0, &entries);
+      AppendSessionCounters(w, 1, &entries);
+    }
     for (const auto& e : entries) {
       counters[e.name] += e.value;
     }
@@ -212,6 +217,10 @@ int main(int argc, char** argv) {
   };
   std::vector<Run> runs;
   MachineProfile prof = MachineProfile::DecStation5000();
+  // The journey/ledger singletons accumulate across Worlds; start this
+  // invocation's accounting from zero.
+  DropLedger::Get().Reset();
+  PacketJourney::Get().Reset();
   if (run_tcp) {
     opt.proto = IpProto::kTcp;
     double ms = RunProtolatTraced(config, prof, opt, hooks);
@@ -278,7 +287,26 @@ int main(int argc, char** argv) {
              static_cast<unsigned long>(kv.second));
       first = false;
     }
-    printf("}\n}\n");
+    printf("},\n");
+    const DropLedger& led = DropLedger::Get();
+    const PacketJourney& jn = PacketJourney::Get();
+    printf("  \"drop_reasons\": {");
+    first = true;
+    for (size_t i = 1; i < static_cast<size_t>(DropReason::kNumReasons); i++) {
+      DropReason r = static_cast<DropReason>(i);
+      if (led.total(r) == 0) {
+        continue;
+      }
+      printf("%s\"%s\": %lu", first ? "" : ", ", DropReasonName(r),
+             static_cast<unsigned long>(led.total(r)));
+      first = false;
+    }
+    printf("},\n");
+    printf("  \"journey\": {\"minted\": %lu, \"delivered\": %lu, \"consumed\": %lu, "
+           "\"dropped\": %lu, \"in_flight\": %lu, \"conflicts\": %lu}\n}\n",
+           static_cast<unsigned long>(jn.minted()), static_cast<unsigned long>(jn.delivered()),
+           static_cast<unsigned long>(jn.consumed()), static_cast<unsigned long>(jn.dropped()),
+           static_cast<unsigned long>(jn.in_flight()), static_cast<unsigned long>(jn.conflicts()));
     return 0;
   }
 
@@ -304,5 +332,26 @@ int main(int argc, char** argv) {
       printf("  %-24s %lu\n", kv.first.c_str(), static_cast<unsigned long>(kv.second));
     }
   }
+  const DropLedger& led = DropLedger::Get();
+  const PacketJourney& jn = PacketJourney::Get();
+  printf("\ndrop reasons:\n");
+  bool any_drop = false;
+  for (size_t i = 1; i < static_cast<size_t>(DropReason::kNumReasons); i++) {
+    DropReason r = static_cast<DropReason>(i);
+    if (led.total(r) == 0) {
+      continue;
+    }
+    any_drop = true;
+    printf("  %-24s %lu%s\n", DropReasonName(r), static_cast<unsigned long>(led.total(r)),
+           IsDropReason(r) ? "" : "  (event, not a drop)");
+  }
+  if (!any_drop) {
+    printf("  (none)\n");
+  }
+  printf("\npacket journeys: %lu minted, %lu delivered, %lu consumed, %lu dropped, "
+         "%lu in flight\n",
+         static_cast<unsigned long>(jn.minted()), static_cast<unsigned long>(jn.delivered()),
+         static_cast<unsigned long>(jn.consumed()), static_cast<unsigned long>(jn.dropped()),
+         static_cast<unsigned long>(jn.in_flight()));
   return 0;
 }
