@@ -34,6 +34,17 @@ class Rng {
     return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0) < p;
   }
 
+  // Independent deterministic sub-stream `stream` of `seed` (splitmix64
+  // finalizer). Consumers that make several kinds of decisions from one
+  // user-visible seed give each kind its own stream, so draws for one kind
+  // never perturb another's sequence (fault mixes stay composable).
+  static Rng Stream(uint64_t seed, uint64_t stream) {
+    uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return Rng(z ^ (z >> 31));
+  }
+
  private:
   uint64_t state_;
 };

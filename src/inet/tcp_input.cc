@@ -184,6 +184,14 @@ void TcpLayer::Input(Chain seg, Ipv4Addr src, Ipv4Addr dst) {
       return;
     }
     if (flags & kTcpAck) {
+      if (rst_suppress_ != nullptr && rst_suppress_(local, remote)) {
+        // The connection for this tuple migrated to another placement and
+        // its pcb left this stack; the demux fell through to the listener.
+        // A RST here would reach the live migrated connection in-window and
+        // reset it — drop the stray (e.g. a delayed handshake ACK) instead.
+        drop(DropReason::kMigrationWindow);
+        return;
+      }
       drop(DropReason::kTcpUnacceptable);
       drop_with_reset();
       return;

@@ -67,15 +67,22 @@ void TcpLayer::Destroy(TcpPcb* pcb) {
   }
   if (pcb->port_owned && pcb->local.port != 0) {
     // The port may be shared with siblings/parent (accepted connections);
-    // release only if no other pcb uses it.
-    bool shared = false;
+    // only the owning pcb may release it. If the owner dies while sharers
+    // remain (listener closed before its accepted children), ownership
+    // passes to one survivor so the last local user still releases.
+    // Non-owned bindings never release here: a migrated-out pcb's name
+    // must stay allocated — the OS server releases it at session teardown
+    // — and releasing it early would let a new session acquire a duplicate.
+    TcpPcb* heir = nullptr;
     for (const auto& p : pcbs_) {
       if (p.get() != pcb && p->local.port == pcb->local.port) {
-        shared = true;
+        heir = p.get();
         break;
       }
     }
-    if (!shared) {
+    if (heir != nullptr) {
+      heir->port_owned = true;
+    } else {
       ports_->Release(pcb->local.port);
     }
   }

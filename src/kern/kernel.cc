@@ -214,7 +214,12 @@ void Kernel::DeliverFrame() {
       // In-kernel stack: the netisr queue holds the kernel buffer directly.
       ep.queue->Push(std::move(f));
       break;
-    case DeliverKind::kShm: {
+    case DeliverKind::kShm:
+    case DeliverKind::kShmIpf: {
+      // kShmIpf can land here when the integrated endpoint was installed
+      // after this frame entered the copy path (session-filter handover
+      // mid-delivery); the frame is already in a kernel buffer, so it
+      // takes the same copy into the shared ring as kShm.
       ProbeSpan span(tracer_, sim_, Stage::kKernelCopyout);
       // Kernel buffer -> shared-memory ring.
       self->Charge(static_cast<SimDuration>(f.size()) * prof_->copy_per_byte);
@@ -223,9 +228,6 @@ void Kernel::DeliverFrame() {
       ep.queue->Push(std::move(shared));
       break;
     }
-    case DeliverKind::kShmIpf:
-      assert(false && "unreachable: integrated mode handles kShmIpf");
-      break;
     case DeliverKind::kIpc: {
       ProbeSpan span(tracer_, sim_, Stage::kKernelCopyout);
       IpcMessage msg;

@@ -100,6 +100,10 @@ class Kernel {
   Nic* nic() const { return nic_; }
   const MachineProfile* profile() const { return prof_; }
 
+  // Filters currently installed in the engine (leak checks: a clean
+  // teardown returns this to its pre-workload value).
+  size_t installed_filters() const { return engine_.installed_count(); }
+
   uint64_t rx_delivered() const { return rx_delivered_; }
   uint64_t rx_unmatched() const { return rx_unmatched_; }
   uint64_t filter_insns() const { return filter_insns_; }

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <cassert>
 
 #include "src/base/bytes.h"
@@ -10,10 +11,148 @@
 
 namespace psd {
 
+// Per-frame fault decisions run in a fixed order — shaper admission,
+// corruption, loss (bursty then independent), delay, reorder, duplication —
+// and every class draws only from its own stream, so the decision sequence
+// of one class is a pure function of (seed, frame index) no matter which
+// other classes are enabled.
+
+bool EthernetSegment::LossDecision() {
+  bool drop = false;
+  if (faults_.burst.enabled) {
+    // Advance the Gilbert–Elliott channel state once per frame, then draw
+    // the current state's loss probability.
+    if (burst_bad_) {
+      if (burst_rng_.Chance(faults_.burst.p_bad_to_good)) {
+        burst_bad_ = false;
+      }
+    } else if (burst_rng_.Chance(faults_.burst.p_good_to_bad)) {
+      burst_bad_ = true;
+    }
+    if (burst_rng_.Chance(burst_bad_ ? faults_.burst.loss_bad : faults_.burst.loss_good)) {
+      drop = true;
+    }
+  }
+  if (faults_.loss_rate > 0 && loss_rng_.Chance(faults_.loss_rate)) {
+    drop = true;
+  }
+  return drop;
+}
+
+bool EthernetSegment::PartitionBlocks(int src_idx, int dst_idx, SimTime at) const {
+  for (const LinkPartition& p : faults_.partitions) {
+    if ((p.src == -1 || p.src == src_idx) && (p.dst == -1 || p.dst == dst_idx) && at >= p.from &&
+        at < p.until) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool EthernetSegment::CorruptFrame(Frame* frame) {
+  // Only unicast IPv4 frames are eligible, and flips land inside the IP
+  // datagram (header or payload): every eligible byte is covered by the IP
+  // header checksum or a transport checksum, and 1-2 flips confined to one
+  // aligned 16-bit word can never alias the ones-complement sum — so every
+  // injected corruption is provably detectable, which is what makes the
+  // corrupted-frames-vs-bad_checksum reconciliation exact. The one word
+  // that could defeat detection — the stored UDP checksum, whose zeroing
+  // disables validation (RFC 768) — is excluded below.
+  if (frame->size() < kEtherHeaderLen + 20) {
+    return false;
+  }
+  const uint8_t* b = frame->data();
+  bool bcast = true;
+  for (int i = 0; i < 6; i++) {
+    bcast = bcast && b[i] == 0xff;
+  }
+  uint16_t ethertype = static_cast<uint16_t>((b[12] << 8) | b[13]);
+  if (bcast || ethertype != kEtherTypeIpv4) {
+    return false;
+  }
+  // TCP/UDP only: other IP protocols (ICMP) verify checksums but discard
+  // silently, which would defeat the exact corrupted-vs-bad_checksum
+  // reconciliation the torture harness asserts.
+  uint8_t proto = b[kEtherHeaderLen + 9];
+  if (proto != 6 && proto != 17) {
+    return false;
+  }
+  size_t ip_len = static_cast<size_t>((b[16] << 8) | b[17]);
+  size_t region = std::min(ip_len, frame->size() - kEtherHeaderLen);
+  size_t words = region / 2;
+  // RFC 768 wrinkle: a received UDP checksum of 0 means "sender computed no
+  // checksum" and the receiver skips validation entirely. A flip landing in
+  // the stored-checksum word could therefore zero it and make the
+  // corruption invisible, so that word (IHL + 6, always 16-bit aligned) is
+  // excluded from eligibility.
+  size_t excluded = words;  // sentinel: no word excluded
+  if (proto == 17) {
+    size_t ihl = static_cast<size_t>(b[kEtherHeaderLen] & 0x0f) * 4;
+    if (ihl + 8 <= region) {
+      excluded = (ihl + 6) / 2;
+    }
+  }
+  size_t eligible = words - (excluded < words ? 1 : 0);
+  if (eligible == 0) {
+    return false;
+  }
+  size_t w = corrupt_rng_.Below(eligible);
+  if (excluded < words && w >= excluded) {
+    w++;
+  }
+  uint8_t* word = frame->data() + kEtherHeaderLen + 2 * w;
+  int b1 = static_cast<int>(corrupt_rng_.Below(16));
+  word[b1 / 8] ^= static_cast<uint8_t>(1u << (b1 % 8));
+  if (faults_.corrupt_bits >= 2) {
+    int b2 = static_cast<int>(corrupt_rng_.Below(15));
+    if (b2 >= b1) {
+      b2++;
+    }
+    word[b2 / 8] ^= static_cast<uint8_t>(1u << (b2 % 8));
+  }
+  return true;
+}
+
 void EthernetSegment::Transmit(Nic* src, Frame frame, std::function<void()> done) {
+  SimDuration wire_time = WireTime(frame.size());
+  if (faults_.bandwidth_scale != 1.0) {
+    wire_time = static_cast<SimDuration>(static_cast<double>(wire_time) * faults_.bandwidth_scale);
+  }
+
+  // Shaper queue admission: a bounded backlog (queued frames plus the one
+  // in service) tail-drops before the frame ever occupies the medium.
+  if (faults_.queue_frames > 0 && queued_frames_ >= faults_.queue_frames) {
+    if (frame.pkt_id == 0) {
+      frame.pkt_id = PacketJourney::Get().Mint();
+      if (frame.pkt_id != 0) {
+        PacketJourney::Get().Hop(frame.pkt_id, TraceLayer::kWire, "wire/inject", sim_->Now(),
+                                 frame.size());
+      }
+    }
+    frames_shaper_dropped_++;
+    DropLedger::Get().Record(frame.pkt_id, TraceLayer::kWire, DropReason::kWireShaperDrop,
+                             sim_->Now(), "wire");
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->Instant(sim_, "wire/shaper-drop", TraceLayer::kWire);
+    }
+    if (done) {
+      // The sender still sees wire-paced backpressure: completion fires
+      // when the frame would have finished serializing had it been
+      // admitted, not instantly at drop time.
+      sim_->Schedule(std::max(sim_->Now(), medium_free_at_) + wire_time, std::move(done));
+    }
+    return;
+  }
+
   SimTime start = std::max(sim_->Now(), medium_free_at_);
-  SimTime end = start + WireTime(frame.size());
+  SimTime end = start + wire_time;
   medium_free_at_ = end;
+  if (faults_.queue_frames > 0) {
+    // Decremented at transmission end so the frame occupying the medium
+    // still counts against the backlog bound.
+    queued_frames_++;
+    sim_->Schedule(end, [this] { queued_frames_--; });
+  }
   frames_carried_++;
   // Frames injected straight onto the wire (tests, raw tools) have no id
   // yet; mint here so every frame the segment carries is traceable.
@@ -28,13 +167,28 @@ void EthernetSegment::Transmit(Nic* src, Frame frame, std::function<void()> done
   if (tracer_ != nullptr && tracer_->enabled()) {
     tracer_->Emit(sim_, "wire/transmit", TraceLayer::kWire, /*stage=*/-1, start, end - start);
   }
+
+  // Corruption happens before the pcap tap: the flips are on the cable, so
+  // a sniffer sees them.
+  bool corrupted = false;
+  if (faults_.corrupt_rate > 0 && corrupt_rng_.Chance(faults_.corrupt_rate)) {
+    corrupted = CorruptFrame(&frame);
+    if (corrupted) {
+      frames_corrupted_++;
+      DropLedger::Get().Record(frame.pkt_id, TraceLayer::kWire, DropReason::kWireCorrupt, start,
+                               "wire");
+      if (tracer_ != nullptr && tracer_->enabled()) {
+        tracer_->Instant(sim_, "wire/corrupt", TraceLayer::kWire);
+      }
+    }
+  }
 #ifndef PSD_OBS_DISABLE_PCAP
   if (pcap_ != nullptr) {
     pcap_->CaptureFrame(start, frame);
   }
 #endif
 
-  if (faults_.loss_rate > 0 && rng_.Chance(faults_.loss_rate)) {
+  if (LossDecision()) {
     frames_dropped_++;
     DropLedger::Get().Record(frame.pkt_id, TraceLayer::kWire, DropReason::kWireFault, end,
                              "wire");
@@ -48,7 +202,7 @@ void EthernetSegment::Transmit(Nic* src, Frame frame, std::function<void()> done
   }
 
   SimTime deliver_at = end;
-  if (faults_.delay_rate > 0 && rng_.Chance(faults_.delay_rate)) {
+  if (faults_.delay_rate > 0 && delay_rng_.Chance(faults_.delay_rate)) {
     deliver_at += faults_.extra_delay;
     // Not a drop: the frame still arrives, just late (reordered).
     DropLedger::Get().Record(frame.pkt_id, TraceLayer::kWire, DropReason::kWireDelay, deliver_at,
@@ -57,8 +211,21 @@ void EthernetSegment::Transmit(Nic* src, Frame frame, std::function<void()> done
       tracer_->Instant(sim_, "wire/delay", TraceLayer::kWire);
     }
   }
+  if (faults_.reorder_rate > 0 && reorder_rng_.Chance(faults_.reorder_rate)) {
+    // Hold the frame back a bounded number of frame slots: it falls behind
+    // at most reorder_window later frames.
+    int window = std::max(1, faults_.reorder_window);
+    int slots = static_cast<int>(reorder_rng_.Range(1, window));
+    deliver_at += static_cast<SimDuration>(slots) * wire_time;
+    frames_reordered_++;
+    DropLedger::Get().Record(frame.pkt_id, TraceLayer::kWire, DropReason::kWireReorder,
+                             deliver_at, "wire");
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->Instant(sim_, "wire/reorder", TraceLayer::kWire);
+    }
+  }
   Deliver(src, frame, deliver_at);
-  if (faults_.dup_rate > 0 && rng_.Chance(faults_.dup_rate)) {
+  if (faults_.dup_rate > 0 && dup_rng_.Chance(faults_.dup_rate)) {
     // The duplicate is its own packet: new id, aux links back to the
     // original so pktwalk can show the clone relationship.
     Frame dup = frame;
@@ -69,6 +236,12 @@ void EthernetSegment::Transmit(Nic* src, Frame frame, std::function<void()> done
     }
     DropLedger::Get().Record(dup.pkt_id, TraceLayer::kWire, DropReason::kWireDup, deliver_at,
                              "wire");
+    if (corrupted) {
+      // The clone carries the parent's flipped bits; ledger it too so the
+      // corrupted-id set stays complete for reconciliation.
+      DropLedger::Get().Record(dup.pkt_id, TraceLayer::kWire, DropReason::kWireCorrupt,
+                               deliver_at, "wire");
+    }
     if (tracer_ != nullptr && tracer_->enabled()) {
       tracer_->Instant(sim_, "wire/dup", TraceLayer::kWire);
     }
@@ -80,8 +253,27 @@ void EthernetSegment::Transmit(Nic* src, Frame frame, std::function<void()> done
 }
 
 void EthernetSegment::Deliver(Nic* src, const Frame& frame, SimTime at) {
+  const bool partitioned = !faults_.partitions.empty();
+  int src_idx = partitioned ? IndexOf(src) : -1;
   for (Nic* nic : nics_) {
     if (nic == src) {
+      continue;
+    }
+    if (partitioned && PartitionBlocks(src_idx, IndexOf(nic), at)) {
+      frames_partitioned_++;
+      // Ledger the drop as the frame's terminal only for the receiver the
+      // frame was addressed to; a blocked broadcast copy (or a copy for a
+      // bystander NIC that would have MAC-filtered it anyway) is not this
+      // packet's fate.
+      MacAddr dst;
+      std::memcpy(dst.b.data(), frame.data(), 6);
+      if (dst == nic->mac()) {
+        DropLedger::Get().Record(frame.pkt_id, TraceLayer::kWire, DropReason::kWirePartition, at,
+                                 "wire");
+        if (tracer_ != nullptr && tracer_->enabled()) {
+          tracer_->Instant(sim_, "wire/partition", TraceLayer::kWire);
+        }
+      }
       continue;
     }
     sim_->Schedule(at, [nic, frame] { nic->DeliverFromWire(frame); });

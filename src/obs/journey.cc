@@ -11,6 +11,8 @@ const char* DropReasonName(DropReason r) {
   switch (r) {
     case DropReason::kNone: return "none";
     case DropReason::kWireFault: return "wire-fault";
+    case DropReason::kWirePartition: return "wire-partition";
+    case DropReason::kWireShaperDrop: return "wire-shaper-drop";
     case DropReason::kNicRingOverflow: return "nic-ring-overflow";
     case DropReason::kNoFilterMatch: return "no-filter-match";
     case DropReason::kFilterRemoved: return "filter-removed";
@@ -40,6 +42,8 @@ const char* DropReasonName(DropReason r) {
     case DropReason::kTcpAfterClose: return "tcp-after-close";
     case DropReason::kWireDup: return "wire-dup";
     case DropReason::kWireDelay: return "wire-delay";
+    case DropReason::kWireCorrupt: return "wire-corrupt";
+    case DropReason::kWireReorder: return "wire-reorder";
     case DropReason::kNumReasons: break;
   }
   return "?";
@@ -47,6 +51,7 @@ const char* DropReasonName(DropReason r) {
 
 bool IsDropReason(DropReason r) {
   return r != DropReason::kNone && r != DropReason::kWireDup && r != DropReason::kWireDelay &&
+         r != DropReason::kWireCorrupt && r != DropReason::kWireReorder &&
          r != DropReason::kNumReasons;
 }
 

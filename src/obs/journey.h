@@ -50,6 +50,8 @@ enum class DropReason : uint8_t {
   kNone = 0,
   // wire / NIC (netsim)
   kWireFault,         // fault injector discarded the frame on the segment
+  kWirePartition,     // link partition blocked the src->dst direction
+  kWireShaperDrop,    // shaper queue bound exceeded (tail drop before the wire)
   kNicRingOverflow,   // device rx ring full
   // kernel demux (kern / filter)
   kNoFilterMatch,     // no installed filter program claimed the frame
@@ -85,8 +87,10 @@ enum class DropReason : uint8_t {
   kTcpAfterClose,      // data after the receiver shut down reading
   // wire fault-injection events that are NOT drops (IsDropReason == false):
   // the frame still reaches its receivers.
-  kWireDup,    // fault injector duplicated the frame
-  kWireDelay,  // fault injector added extra delay (reordering)
+  kWireDup,      // fault injector duplicated the frame
+  kWireDelay,    // fault injector added extra delay (reordering)
+  kWireCorrupt,  // fault injector flipped payload/header bits in the frame
+  kWireReorder,  // fault injector held the frame back a bounded window
   kNumReasons
 };
 

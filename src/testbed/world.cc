@@ -71,6 +71,38 @@ World::~World() {
   }
 }
 
+Stack* World::stack(int i) {
+  Node* n = nodes_[i].get();
+  if (n->kernel_node != nullptr) {
+    return n->kernel_node->stack();
+  }
+  if (n->ux != nullptr) {
+    return n->ux->stack();
+  }
+  return n->lib->stack();
+}
+
+std::vector<Stack*> World::AllStacks(int i) {
+  Node* n = nodes_[i].get();
+  std::vector<Stack*> out;
+  if (n->kernel_node != nullptr) {
+    out.push_back(n->kernel_node->stack());
+  }
+  if (n->ux != nullptr) {
+    out.push_back(n->ux->stack());
+  }
+  if (n->ns != nullptr) {
+    out.push_back(n->ns->stack());
+  }
+  if (n->lib != nullptr) {
+    out.push_back(n->lib->stack());
+  }
+  for (auto& lib : n->extra_libs) {
+    out.push_back(lib->stack());
+  }
+  return out;
+}
+
 void World::AttachTracer(int i, Tracer* tracer) {
   wire_.SetTracer(tracer);
   Node* n = nodes_[i].get();

@@ -50,6 +50,13 @@ class World {
 
   // Placement internals, for tests that inspect them (null when the
   // configuration doesn't have the component).
+  // The host's primary protocol stack, whatever the placement (the kernel
+  // stack, the UX server's stack, or the application library's stack).
+  Stack* stack(int i);
+  // Every stack instance on host `i` — library configs run two (the
+  // net-server's and the application's), plus any AddLibrary extras.
+  std::vector<Stack*> AllStacks(int i);
+
   KernelNode* kernel_node(int i) { return nodes_[i]->kernel_node.get(); }
   UxServer* ux_server(int i) { return nodes_[i]->ux.get(); }
   NetServer* net_server(int i) { return nodes_[i]->ns.get(); }

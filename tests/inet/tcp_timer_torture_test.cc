@@ -1,0 +1,223 @@
+// TCP timer torture: drives each slow-timer mechanism to its edge using
+// wire-level faults (scheduled link partitions) instead of poking pcb state
+// directly — persist probes against a zero window, keepalive probing and
+// abort across a dead link, TIME_WAIT expiry reclaiming the pcb, and the
+// max-backoff retransmission abort.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/testbed/world.h"
+
+namespace psd {
+namespace {
+
+// A zero receive window holds the sender in persist: the receiver stops
+// reading mid-transfer, the sender's window closes, and persist probes keep
+// the connection alive until the window reopens — then the transfer
+// completes in full.
+TEST(TcpTimerTorture, PersistProbesSurviveZeroWindow) {
+  World w(Config::kInKernel, MachineProfile::DecStation5000());
+  constexpr size_t kTotal = 64 * 1024;
+  size_t got = 0;
+  bool server_done = false;
+  bool client_done = false;
+
+  w.SpawnApp(1, "rx", [&] {
+    SocketApi* api = w.api(1);
+    int lfd = *api->CreateSocket(IpProto::kTcp);
+    ASSERT_TRUE(api->SetOpt(lfd, SockOpt::kRcvBuf, 4096).ok());
+    ASSERT_TRUE(api->Bind(lfd, SockAddrIn{Ipv4Addr::Any(), 5004}).ok());
+    ASSERT_TRUE(api->Listen(lfd, 5).ok());
+    Result<int> cfd = api->Accept(lfd, nullptr);
+    ASSERT_TRUE(cfd.ok());
+    uint8_t buf[2048];
+    // Read a little, then go quiet long enough for several persist
+    // intervals (persist backoff starts at ~2.5 s) before draining.
+    Result<size_t> first = api->Recv(*cfd, buf, sizeof(buf), nullptr, false);
+    ASSERT_TRUE(first.ok());
+    got += *first;
+    w.sim().current_thread()->SleepFor(Seconds(30));
+    for (;;) {
+      Result<size_t> n = api->Recv(*cfd, buf, sizeof(buf), nullptr, false);
+      ASSERT_TRUE(n.ok()) << ErrName(n.error());
+      if (*n == 0) {
+        break;
+      }
+      got += *n;
+    }
+    api->Close(*cfd);
+    api->Close(lfd);
+    server_done = true;
+  });
+  w.SpawnApp(0, "tx", [&] {
+    SocketApi* api = w.api(0);
+    int fd = *api->CreateSocket(IpProto::kTcp);
+    w.sim().current_thread()->SleepFor(Millis(10));
+    ASSERT_TRUE(api->Connect(fd, SockAddrIn{w.addr(1), 5004}).ok());
+    std::vector<uint8_t> data(kTotal, 0x5A);
+    size_t sent = 0;
+    while (sent < data.size()) {
+      Result<size_t> n = api->Send(fd, data.data() + sent, data.size() - sent, nullptr);
+      ASSERT_TRUE(n.ok()) << ErrName(n.error());
+      sent += *n;
+    }
+    api->Close(fd);
+    client_done = true;
+  });
+  w.sim().Run(Seconds(300));
+
+  ASSERT_TRUE(server_done);
+  ASSERT_TRUE(client_done);
+  EXPECT_EQ(got, kTotal);
+  EXPECT_GT(w.stack(0)->tcp().stats().persist_probes, 0u);
+}
+
+// SO_KEEPALIVE across a permanently dead link: after the two-hour idle
+// threshold the stack sends probes, and after ~8 unanswered probes it
+// aborts the connection with a timeout the application can see. Without
+// the partition the same idle connection must survive.
+TEST(TcpTimerTorture, KeepaliveProbesAndAbortsAcrossDeadLink) {
+  World w(Config::kInKernel, MachineProfile::DecStation5000());
+  bool client_saw_timeout = false;
+  bool client_done = false;
+
+  w.SpawnApp(1, "rx", [&] {
+    SocketApi* api = w.api(1);
+    int lfd = *api->CreateSocket(IpProto::kTcp);
+    ASSERT_TRUE(api->Bind(lfd, SockAddrIn{Ipv4Addr::Any(), 5005}).ok());
+    ASSERT_TRUE(api->Listen(lfd, 5).ok());
+    Result<int> cfd = api->Accept(lfd, nullptr);
+    ASSERT_TRUE(cfd.ok());
+    // Keep the fd open; never answer again (the partition eats the probes
+    // anyway). The World force-unwinds this thread at teardown.
+    uint8_t buf[64];
+    (void)api->Recv(*cfd, buf, sizeof(buf), nullptr, false);
+  });
+  w.SpawnApp(0, "tx", [&] {
+    SocketApi* api = w.api(0);
+    int fd = *api->CreateSocket(IpProto::kTcp);
+    ASSERT_TRUE(api->SetOpt(fd, SockOpt::kKeepAlive, 1).ok());
+    w.sim().current_thread()->SleepFor(Millis(10));
+    ASSERT_TRUE(api->Connect(fd, SockAddrIn{w.addr(1), 5005}).ok());
+    // Partition both directions from t=1 s, forever: the established,
+    // idle connection has no traffic to notice it — only keepalive does.
+    FaultPlan plan;
+    plan.partitions.push_back(LinkPartition{-1, -1, Seconds(1), kTimeNever});
+    w.wire().SetFaults(plan);
+    // Block in Recv; the keepalive abort must wake us with an error.
+    uint8_t buf[64];
+    Result<size_t> n = api->Recv(fd, buf, sizeof(buf), nullptr, false);
+    client_saw_timeout = !n.ok() && n.error() == Err::kTimedOut;
+    api->Close(fd);
+    client_done = true;
+  });
+  // Keepalive idle threshold is 2 virtual hours (14400 slow ticks), probes
+  // every 75 s, abort after ~8 unanswered: ~2.5 h total.
+  w.sim().Run(Seconds(3 * 3600));
+
+  ASSERT_TRUE(client_done);
+  EXPECT_TRUE(client_saw_timeout);
+  EXPECT_GT(w.stack(0)->tcp().stats().keepalive_probes, 0u);
+  // The aborted pcb is gone — no zombie connection holds the port.
+  EXPECT_EQ(w.stack(0)->tcp().pcbs().size(), 0u);
+}
+
+// Active close enters TIME_WAIT, holds the pcb for 2MSL, then reclaims it.
+TEST(TcpTimerTorture, TimeWaitExpiresAndReclaimsThePcb) {
+  World w(Config::kInKernel, MachineProfile::DecStation5000());
+  bool client_done = false;
+
+  w.SpawnApp(1, "rx", [&] {
+    SocketApi* api = w.api(1);
+    int lfd = *api->CreateSocket(IpProto::kTcp);
+    ASSERT_TRUE(api->Bind(lfd, SockAddrIn{Ipv4Addr::Any(), 5006}).ok());
+    ASSERT_TRUE(api->Listen(lfd, 5).ok());
+    Result<int> cfd = api->Accept(lfd, nullptr);
+    ASSERT_TRUE(cfd.ok());
+    uint8_t buf[64];
+    Result<size_t> n = api->Recv(*cfd, buf, sizeof(buf), nullptr, false);
+    EXPECT_TRUE(n.ok() && *n == 0);  // clean EOF from the client's close
+    api->Close(*cfd);
+    api->Close(lfd);
+  });
+  w.SpawnApp(0, "tx", [&] {
+    SocketApi* api = w.api(0);
+    int fd = *api->CreateSocket(IpProto::kTcp);
+    w.sim().current_thread()->SleepFor(Millis(10));
+    ASSERT_TRUE(api->Connect(fd, SockAddrIn{w.addr(1), 5006}).ok());
+    api->Close(fd);  // active close: this side enters TIME_WAIT
+    client_done = true;
+  });
+
+  // Let the close handshake finish, then verify the active closer is
+  // parked in TIME_WAIT.
+  w.sim().Run(Seconds(5));
+  ASSERT_TRUE(client_done);
+  bool saw_time_wait = false;
+  for (const auto& p : w.stack(0)->tcp().pcbs()) {
+    saw_time_wait = saw_time_wait || p->state == TcpState::kTimeWait;
+  }
+  EXPECT_TRUE(saw_time_wait);
+
+  // 2MSL is 60 s of slow ticks; well past that, the pcb must be reclaimed.
+  w.sim().Run(Seconds(5 + 90));
+  EXPECT_EQ(w.stack(0)->tcp().pcbs().size(), 0u);
+  EXPECT_EQ(w.stack(1)->tcp().pcbs().size(), 0u);
+}
+
+// When every retransmission dies on a dead link, exponential backoff runs
+// the shift table to the end and the connection aborts instead of retrying
+// forever.
+TEST(TcpTimerTorture, MaxBackoffAbortsTheConnection) {
+  World w(Config::kInKernel, MachineProfile::DecStation5000());
+  bool sender_saw_error = false;
+  bool sender_done = false;
+
+  w.SpawnApp(1, "rx", [&] {
+    SocketApi* api = w.api(1);
+    int lfd = *api->CreateSocket(IpProto::kTcp);
+    ASSERT_TRUE(api->Bind(lfd, SockAddrIn{Ipv4Addr::Any(), 5007}).ok());
+    ASSERT_TRUE(api->Listen(lfd, 5).ok());
+    Result<int> cfd = api->Accept(lfd, nullptr);
+    ASSERT_TRUE(cfd.ok());
+    uint8_t buf[4096];
+    for (;;) {
+      Result<size_t> n = api->Recv(*cfd, buf, sizeof(buf), nullptr, false);
+      if (!n.ok() || *n == 0) {
+        break;
+      }
+    }
+  });
+  w.SpawnApp(0, "tx", [&] {
+    SocketApi* api = w.api(0);
+    int fd = *api->CreateSocket(IpProto::kTcp);
+    w.sim().current_thread()->SleepFor(Millis(10));
+    ASSERT_TRUE(api->Connect(fd, SockAddrIn{w.addr(1), 5007}).ok());
+    uint8_t chunk[1024] = {0x17};
+    ASSERT_TRUE(api->Send(fd, chunk, sizeof(chunk), nullptr).ok());
+    // Kill the link under the established connection. Every retransmission
+    // of the unacked data now dies.
+    FaultPlan plan;
+    plan.partitions.push_back(LinkPartition{-1, -1, Seconds(1), kTimeNever});
+    w.wire().SetFaults(plan);
+    w.sim().current_thread()->SleepFor(Seconds(2));
+    ASSERT_TRUE(api->Send(fd, chunk, sizeof(chunk), nullptr).ok());
+    // Block until the abort: Recv returns the pending error.
+    uint8_t buf[64];
+    Result<size_t> n = api->Recv(fd, buf, sizeof(buf), nullptr, false);
+    sender_saw_error = !n.ok() && n.error() == Err::kTimedOut;
+    api->Close(fd);
+    sender_done = true;
+  });
+  // Backoff sum: ~3 ticks * (1+2+4+8+16+32) + 7 * 128-tick clamp ≈ 9 min.
+  w.sim().Run(Seconds(1500));
+
+  ASSERT_TRUE(sender_done);
+  EXPECT_TRUE(sender_saw_error);
+  EXPECT_GE(w.stack(0)->tcp().stats().rexmt_timeouts, 12u);
+  EXPECT_EQ(w.stack(0)->tcp().pcbs().size(), 0u);
+}
+
+}  // namespace
+}  // namespace psd
