@@ -1,0 +1,398 @@
+// Wall-clock speed of the simulation engine itself (ROADMAP item 2).
+//
+// Every other bench in this repo reports *virtual* time; this one reports
+// how many real (host) nanoseconds the engine burns per simulated packet,
+// which is what bounds the scenario sizes every other open item needs.
+// Three canonical workloads, each a deterministic virtual-time scenario:
+//
+//   tcp_stream — one ttcp-style bulk TCP transfer, in-kernel placement
+//                (windowed stream: timers, retransmit machinery armed,
+//                sockbuf flow control).
+//   udp_blast  — one-way UDP datagram blast at full wire utilization
+//                (the per-packet hot path with no protocol back-pressure:
+//                scheduler, pools, NIC delivery dominate).
+//   churn_256  — 256 TCP sessions opened/transferred/closed on the
+//                Library-SHM placement (session filter install/remove,
+//                SHM rings, port churn: the C10K-shaped workload).
+//
+// Methodology (see EXPERIMENTS.md): one warmup run, then --trials measured
+// runs of each workload. Virtual quantities (frames carried, events
+// executed, virtual end time) must be bit-identical across trials — the
+// bench aborts if they are not, since that would mean wall-clock state
+// leaked into simulation behavior. Wall time is measured around the
+// simulation phase only (world construction included: spawning hosts is
+// part of the engine's job). Reported per workload:
+//
+//   wall_ns_per_pkt  — min over trials of wall_ns / frames_carried
+//   events_per_sec   — events_executed / wall seconds, at the min trial
+//
+// With --compare-heap the udp_blast workload is re-run under the legacy
+// heap scheduler (PSD_SIM_HEAP_SCHEDULER=1) for a machine-independent
+// relative gate: the wheel must not be slower than the heap it replaced.
+// Emits BENCH_engine.json in the working directory (shared bench schema).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/common/bench_json.h"
+#include "bench/common/workloads.h"
+#include "src/obs/journey.h"
+#include "src/testbed/world.h"
+
+namespace psd {
+namespace {
+
+struct RunOutcome {
+  uint64_t frames = 0;    // wire frames carried (the "packets" denominator)
+  uint64_t events = 0;    // simulator events executed
+  uint64_t switches = 0;  // OS-level thread handoffs (the engine's wall cost)
+  SimTime virtual_end = 0;
+  double wall_ns = 0;     // host time for the simulation phase
+};
+
+struct WorkloadStats {
+  std::string name;
+  RunOutcome ref;                 // virtual quantities (identical every trial)
+  std::vector<double> wall_ns;    // one entry per measured trial
+  double min_wall_ns = 0;
+  double mean_wall_ns = 0;
+
+  double wall_ns_per_pkt() const { return min_wall_ns / static_cast<double>(ref.frames); }
+  double mean_wall_ns_per_pkt() const { return mean_wall_ns / static_cast<double>(ref.frames); }
+  double events_per_sec() const {
+    return static_cast<double>(ref.events) / (min_wall_ns * 1e-9);
+  }
+};
+
+// Runs `body` once, timing the simulation phase and collecting virtual
+// quantities. The journey/ledger singletons are reset per run so memory
+// stays bounded across trials (their recording cost is part of the engine
+// and stays on, as in every real scenario).
+template <typename Body>
+RunOutcome TimeOne(Body&& body) {
+  PacketJourney::Get().Reset();
+  DropLedger::Get().Reset();
+  RunOutcome out;
+  auto t0 = std::chrono::steady_clock::now();
+  body(&out);
+  auto t1 = std::chrono::steady_clock::now();
+  out.wall_ns =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  return out;
+}
+
+// --- Workload 1: ttcp-style TCP stream -------------------------------------
+
+RunOutcome RunTcpStream(const MachineProfile& prof) {
+  return TimeOne([&](RunOutcome* out) {
+    World w(Config::kInKernel, prof);
+    constexpr size_t kTotal = 8 * 1024 * 1024;
+    bool done = false;
+    w.SpawnApp(1, "sink", [&] {
+      SocketApi* api = w.api(1);
+      int lfd = *api->CreateSocket(IpProto::kTcp);
+      api->Bind(lfd, SockAddrIn{Ipv4Addr::Any(), 5001});
+      api->SetOpt(lfd, SockOpt::kRcvBuf, 24 * 1024);
+      api->Listen(lfd, 1);
+      Result<int> fd = api->Accept(lfd, nullptr);
+      if (!fd.ok()) {
+        return;
+      }
+      uint8_t buf[8192];
+      size_t got = 0;
+      while (got < kTotal) {
+        Result<size_t> n = api->Recv(*fd, buf, sizeof(buf), nullptr, false);
+        if (!n.ok() || *n == 0) {
+          break;
+        }
+        got += *n;
+      }
+      api->Close(*fd);
+      api->Close(lfd);
+      done = got == kTotal;
+    });
+    w.SpawnApp(0, "source", [&] {
+      SocketApi* api = w.api(0);
+      w.sim().current_thread()->SleepFor(Millis(5));
+      int fd = *api->CreateSocket(IpProto::kTcp);
+      api->SetOpt(fd, SockOpt::kSndBuf, 24 * 1024);
+      if (!api->Connect(fd, SockAddrIn{w.addr(1), 5001}).ok()) {
+        return;
+      }
+      std::vector<uint8_t> buf(8192);
+      for (size_t i = 0; i < buf.size(); i++) {
+        buf[i] = static_cast<uint8_t>(i % 251);
+      }
+      size_t sent = 0;
+      while (sent < kTotal) {
+        Result<size_t> n = api->Send(fd, buf.data(), std::min(buf.size(), kTotal - sent));
+        if (!n.ok()) {
+          break;
+        }
+        sent += *n;
+      }
+      api->Close(fd);
+    });
+    w.sim().Run(Seconds(300));
+    if (!done) {
+      std::fprintf(stderr, "bench_engine: tcp_stream did not complete\n");
+      std::exit(2);
+    }
+    out->frames = w.wire().frames_carried();
+    out->events = w.sim().events_executed();
+    out->switches = w.sim().thread_switches();
+    out->virtual_end = w.sim().Now();
+  });
+}
+
+// --- Workload 2: one-way UDP blast ------------------------------------------
+
+RunOutcome RunUdpBlast(const MachineProfile& prof) {
+  return TimeOne([&](RunOutcome* out) {
+    World w(Config::kInKernel, prof);
+    constexpr int kCount = 20000;
+    constexpr size_t kPayload = 512;
+    constexpr int kBurst = 8;
+    int received = 0;
+    bool sender_done = false;
+    w.SpawnApp(1, "sink", [&] {
+      SocketApi* api = w.api(1);
+      int fd = *api->CreateSocket(IpProto::kUdp);
+      api->Bind(fd, SockAddrIn{Ipv4Addr::Any(), 9000});
+      api->SetOpt(fd, SockOpt::kRcvBuf, 256 * 1024);
+      uint8_t buf[2048];
+      for (;;) {
+        Result<size_t> n = api->Recv(fd, buf, sizeof(buf), nullptr, false);
+        if (!n.ok()) {
+          break;
+        }
+        received++;
+        if (received == kCount) {
+          break;
+        }
+      }
+      api->Close(fd);
+    });
+    w.SpawnApp(0, "blaster", [&] {
+      SocketApi* api = w.api(0);
+      w.sim().current_thread()->SleepFor(Millis(5));
+      int fd = *api->CreateSocket(IpProto::kUdp);
+      SockAddrIn dst{w.addr(1), 9000};
+      std::vector<uint8_t> pkt(kPayload, 0xab);
+      // Pace bursts at the wire rate so the segment backlog stays bounded
+      // (a blast, not an unbounded queue-growth microbenchmark).
+      SimDuration burst_time = w.wire().WireTime(kPayload + 42) * kBurst;
+      for (int i = 0; i < kCount; i++) {
+        pkt[0] = static_cast<uint8_t>(i);
+        pkt[1] = static_cast<uint8_t>(i >> 8);
+        api->Send(fd, pkt.data(), pkt.size(), &dst);
+        if ((i + 1) % kBurst == 0) {
+          w.sim().current_thread()->SleepFor(burst_time);
+        }
+      }
+      api->Close(fd);
+      sender_done = true;
+    });
+    w.sim().Run(Seconds(120));
+    if (!sender_done || received < kCount * 9 / 10) {
+      std::fprintf(stderr, "bench_engine: udp_blast incomplete (sent=%d received=%d)\n",
+                   sender_done ? kCount : -1, received);
+      std::exit(2);
+    }
+    out->frames = w.wire().frames_carried();
+    out->events = w.sim().events_executed();
+    out->switches = w.sim().thread_switches();
+    out->virtual_end = w.sim().Now();
+  });
+}
+
+// --- Workload 3: 256-session TCP churn on Library-SHM -----------------------
+
+RunOutcome RunChurn256(const MachineProfile& prof) {
+  return TimeOne([&](RunOutcome* out) {
+    World w(Config::kLibraryShm, prof);
+    constexpr int kSessions = 256;
+    constexpr size_t kBytes = 4096;
+    int served = 0;
+    int completed = 0;
+    w.SpawnApp(1, "churn-server", [&] {
+      SocketApi* api = w.api(1);
+      int lfd = *api->CreateSocket(IpProto::kTcp);
+      api->Bind(lfd, SockAddrIn{Ipv4Addr::Any(), 5001});
+      api->Listen(lfd, 8);
+      uint8_t buf[4096];
+      for (int s = 0; s < kSessions; s++) {
+        Result<int> fd = api->Accept(lfd, nullptr);
+        if (!fd.ok()) {
+          break;
+        }
+        size_t got = 0;
+        while (got < kBytes) {
+          Result<size_t> n = api->Recv(*fd, buf, sizeof(buf), nullptr, false);
+          if (!n.ok() || *n == 0) {
+            break;
+          }
+          got += *n;
+        }
+        api->Close(*fd);
+        if (got == kBytes) {
+          served++;
+        }
+      }
+      api->Close(lfd);
+    });
+    w.SpawnApp(0, "churn-client", [&] {
+      SocketApi* api = w.api(0);
+      w.sim().current_thread()->SleepFor(Millis(5));
+      std::vector<uint8_t> buf(kBytes);
+      for (size_t i = 0; i < buf.size(); i++) {
+        buf[i] = static_cast<uint8_t>(i % 253);
+      }
+      for (int s = 0; s < kSessions; s++) {
+        int fd = *api->CreateSocket(IpProto::kTcp);
+        if (!api->Connect(fd, SockAddrIn{w.addr(1), 5001}).ok()) {
+          api->Close(fd);
+          break;
+        }
+        size_t sent = 0;
+        while (sent < kBytes) {
+          Result<size_t> n = api->Send(fd, buf.data() + sent, kBytes - sent);
+          if (!n.ok()) {
+            break;
+          }
+          sent += *n;
+        }
+        api->Close(fd);
+        if (sent == kBytes) {
+          completed++;
+        }
+      }
+    });
+    w.sim().Run(Seconds(600));
+    if (completed != kSessions || served != kSessions) {
+      std::fprintf(stderr, "bench_engine: churn_256 incomplete (client=%d server=%d)\n",
+                   completed, served);
+      std::exit(2);
+    }
+    out->frames = w.wire().frames_carried();
+    out->events = w.sim().events_executed();
+    out->switches = w.sim().thread_switches();
+    out->virtual_end = w.sim().Now();
+  });
+}
+
+// ----------------------------------------------------------------------------
+
+using WorkloadFn = RunOutcome (*)(const MachineProfile&);
+
+WorkloadStats MeasureWorkload(const char* name, WorkloadFn fn, const MachineProfile& prof,
+                              int trials) {
+  WorkloadStats st;
+  st.name = name;
+  fn(prof);  // warmup: page in code, grow pools/freelists to steady state
+  for (int t = 0; t < trials; t++) {
+    RunOutcome r = fn(prof);
+    if (t == 0) {
+      st.ref = r;
+    } else if (r.frames != st.ref.frames || r.events != st.ref.events ||
+               r.virtual_end != st.ref.virtual_end) {
+      std::fprintf(stderr,
+                   "bench_engine: %s trial %d diverged (frames %llu vs %llu, events %llu vs "
+                   "%llu) — virtual behavior leaked wall-clock state\n",
+                   name, t, static_cast<unsigned long long>(r.frames),
+                   static_cast<unsigned long long>(st.ref.frames),
+                   static_cast<unsigned long long>(r.events),
+                   static_cast<unsigned long long>(st.ref.events));
+      std::exit(3);
+    }
+    st.wall_ns.push_back(r.wall_ns);
+  }
+  st.min_wall_ns = st.wall_ns[0];
+  double sum = 0;
+  for (double v : st.wall_ns) {
+    st.min_wall_ns = std::min(st.min_wall_ns, v);
+    sum += v;
+  }
+  st.mean_wall_ns = sum / static_cast<double>(st.wall_ns.size());
+  std::printf(
+      "%-12s %10llu pkts %12llu events %8llu switches  %9.1f ns/pkt (mean %9.1f)  %10.0f "
+      "events/s\n",
+      st.name.c_str(), static_cast<unsigned long long>(st.ref.frames),
+      static_cast<unsigned long long>(st.ref.events),
+      static_cast<unsigned long long>(st.ref.switches), st.wall_ns_per_pkt(),
+      st.mean_wall_ns_per_pkt(), st.events_per_sec());
+  return st;
+}
+
+}  // namespace
+}  // namespace psd
+
+int main(int argc, char** argv) {
+  using namespace psd;
+  int trials = 3;
+  bool compare_heap = false;
+  for (int i = 1; i < argc; i++) {
+    if (std::strncmp(argv[i], "--trials=", 9) == 0) {
+      trials = std::atoi(argv[i] + 9);
+    } else if (std::strcmp(argv[i], "--compare-heap") == 0) {
+      compare_heap = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--trials=N] [--compare-heap]\n", argv[0]);
+      return 1;
+    }
+  }
+  if (trials < 1) {
+    trials = 1;
+  }
+  const bool heap_env = std::getenv("PSD_SIM_HEAP_SCHEDULER") != nullptr;
+  MachineProfile prof = MachineProfile::DecStation5000();
+
+  std::printf("-- Engine wall-clock bench (profile %s, scheduler %s, %d trial%s) --\n",
+              prof.name.c_str(), heap_env ? "heap" : "wheel", trials, trials == 1 ? "" : "s");
+
+  std::vector<WorkloadStats> all;
+  all.push_back(MeasureWorkload("tcp_stream", RunTcpStream, prof, trials));
+  all.push_back(MeasureWorkload("udp_blast", RunUdpBlast, prof, trials));
+  all.push_back(MeasureWorkload("churn_256", RunChurn256, prof, trials));
+
+  BenchJson out("engine", prof.name);
+  out.summary().Set("scheduler", heap_env ? "heap" : "wheel");
+  out.summary().Set("trials", trials);
+  for (const WorkloadStats& st : all) {
+    out.summary().Set(st.name + "_wall_ns_per_pkt", st.wall_ns_per_pkt());
+    out.summary().Set(st.name + "_events_per_sec", st.events_per_sec());
+  }
+
+  if (compare_heap && !heap_env) {
+    // Machine-independent relative gate: same binary, same workload, legacy
+    // heap scheduler. Virtual behavior may differ slightly (event counts);
+    // the wall-clock ratio is the point.
+    setenv("PSD_SIM_HEAP_SCHEDULER", "1", 1);
+    WorkloadStats heap = MeasureWorkload("udp_blast_heap", RunUdpBlast, prof, trials);
+    unsetenv("PSD_SIM_HEAP_SCHEDULER");
+    double speedup = heap.wall_ns_per_pkt() / all[1].wall_ns_per_pkt();
+    std::printf("wheel vs heap (udp_blast): %.2fx\n", speedup);
+    out.summary().Set("udp_blast_heap_wall_ns_per_pkt", heap.wall_ns_per_pkt());
+    out.summary().Set("wheel_vs_heap_speedup", speedup);
+    all.push_back(heap);
+  }
+
+  for (const WorkloadStats& st : all) {
+    for (size_t t = 0; t < st.wall_ns.size(); t++) {
+      BenchJson::Obj& row = out.AddResult();
+      row.Set("workload", st.name);
+      row.Set("trial", static_cast<int>(t));
+      row.Set("packets", st.ref.frames);
+      row.Set("events", st.ref.events);
+      row.Set("thread_switches", st.ref.switches);
+      row.Set("virtual_end_ms", static_cast<double>(st.ref.virtual_end) / 1e6);
+      row.Set("wall_ns", st.wall_ns[t]);
+      row.Set("wall_ns_per_pkt", st.wall_ns[t] / static_cast<double>(st.ref.frames));
+    }
+  }
+  out.WriteFile();
+  return 0;
+}

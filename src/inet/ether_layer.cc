@@ -40,7 +40,9 @@ void EtherLayer::OutputRaw(MacAddr dst, uint16_t ethertype, Chain payload) {
   tx_frames_++;
   // Origin of every stack-emitted frame: mint the packet id here so the
   // whole delivery chain (wire, kernel, peer stack) correlates on it.
-  Frame f(payload.ToVector());
+  // Flatten the chain straight into a pooled buffer.
+  Frame f = Frame::OfSize(payload.len());
+  payload.CopyOut(0, f.data(), f.size());
   f.pkt_id = PacketJourney::Get().Mint();
   if (f.pkt_id != 0) {
     PacketJourney::Get().Hop(f.pkt_id, TraceLayer::kInet, env_->node_name + "/tx", env_->Now(),

@@ -72,9 +72,8 @@ void Kernel::NetSendFromUser(Frame frame) {
   // Trap boundary: user -> kernel crossing for the raw packet send.
   TraceSpan span(tracer_, sim_, "trap/net_send", TraceLayer::kKern);
   self->Charge(prof_->trap);
-  // Copy from user space into a wired kernel buffer.
-  Frame wired(frame.begin(), frame.end());
-  wired.pkt_id = frame.pkt_id;
+  // Copy from user space into a wired kernel buffer (pooled).
+  Frame wired(frame);
   self->Charge(static_cast<SimDuration>(wired.size()) * prof_->copy_per_byte);
   nic_->Transmit(std::move(wired));
 }
@@ -223,8 +222,7 @@ void Kernel::DeliverFrame() {
       ProbeSpan span(tracer_, sim_, Stage::kKernelCopyout);
       // Kernel buffer -> shared-memory ring.
       self->Charge(static_cast<SimDuration>(f.size()) * prof_->copy_per_byte);
-      Frame shared(f.begin(), f.end());
-      shared.pkt_id = f.pkt_id;
+      Frame shared(f);  // pooled copy
       ep.queue->Push(std::move(shared));
       break;
     }

@@ -13,12 +13,12 @@
 #define PSD_SRC_KERN_PACKET_QUEUE_H_
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <utility>
 
 #include "src/base/time.h"
 #include "src/netsim/ether.h"
+#include "src/netsim/frame_ring.h"
 #include "src/obs/journey.h"
 #include "src/sim/simulator.h"
 
@@ -30,20 +30,20 @@ class PacketQueue {
               SimDuration signal_cost = 0)
       : sim_(sim),
         name_(std::move(name)),
-        capacity_(capacity_frames),
         signal_cost_(signal_cost),
-        nonempty_(sim) {}
+        nonempty_(sim),
+        queue_(capacity_frames) {}
 
   // Producer side. Requires thread context (the kernel's interrupt thread).
   // Returns false if the queue overflowed and the frame was dropped.
   bool Push(Frame f) {
-    if (queue_.size() >= capacity_) {
+    if (queue_.full()) {
       dropped_++;
       DropLedger::Get().Record(f.pkt_id, TraceLayer::kKern, DropReason::kQueueOverflow,
                                sim_->Now(), name_);
       return false;
     }
-    queue_.push_back(std::move(f));
+    queue_.Push(std::move(f));
     if (queue_.size() > high_watermark_) {
       high_watermark_ = queue_.size();
     }
@@ -80,8 +80,7 @@ class PacketQueue {
         return false;
       }
     }
-    *out = std::move(queue_.front());
-    queue_.pop_front();
+    *out = queue_.Pop();
     popped_++;
     return true;
   }
@@ -90,8 +89,7 @@ class PacketQueue {
     if (queue_.empty()) {
       return false;
     }
-    *out = std::move(queue_.front());
-    queue_.pop_front();
+    *out = queue_.Pop();
     popped_++;
     return true;
   }
@@ -109,10 +107,9 @@ class PacketQueue {
  private:
   Simulator* sim_;
   std::string name_;
-  size_t capacity_;
   SimDuration signal_cost_;
   WaitQueue nonempty_;
-  std::deque<Frame> queue_;
+  FrameRing queue_;  // preallocated ring: steady state allocates nothing
   bool consumer_waiting_ = false;
   uint64_t dropped_ = 0;
   uint64_t popped_ = 0;

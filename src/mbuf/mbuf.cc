@@ -6,7 +6,104 @@
 namespace psd {
 
 // ---------------------------------------------------------------------------
+// MbufPool
+
+namespace {
+
+struct FreeBlock {
+  FreeBlock* next;
+};
+
+struct MbufPoolState {
+  FreeBlock* free_mbufs = nullptr;
+  size_t parked_mbufs = 0;
+  // Parked with use_count() == 1: reissuing reuses the control block, the
+  // vector and its heap storage in one pop.
+  std::vector<std::shared_ptr<std::vector<uint8_t>>> clusters;
+  uint64_t mbuf_hits = 0;
+  uint64_t mbuf_misses = 0;
+  uint64_t cluster_hits = 0;
+  uint64_t cluster_misses = 0;
+  uint64_t live_mbufs = 0;
+  uint64_t mbuf_high_watermark = 0;
+  uint64_t live_clusters = 0;
+  uint64_t cluster_high_watermark = 0;
+};
+
+MbufPoolState& PS() {
+  static MbufPoolState s;
+  return s;
+}
+
+}  // namespace
+
+uint64_t MbufPool::mbuf_hits() { return PS().mbuf_hits; }
+uint64_t MbufPool::mbuf_misses() { return PS().mbuf_misses; }
+uint64_t MbufPool::cluster_hits() { return PS().cluster_hits; }
+uint64_t MbufPool::cluster_misses() { return PS().cluster_misses; }
+uint64_t MbufPool::live_mbufs() { return PS().live_mbufs; }
+uint64_t MbufPool::mbuf_high_watermark() { return PS().mbuf_high_watermark; }
+uint64_t MbufPool::live_clusters() { return PS().live_clusters; }
+uint64_t MbufPool::cluster_high_watermark() { return PS().cluster_high_watermark; }
+size_t MbufPool::parked_mbufs() { return PS().parked_mbufs; }
+size_t MbufPool::parked_clusters() { return PS().clusters.size(); }
+
+void MbufPool::ResetForTest() {
+  MbufPoolState& s = PS();
+  while (s.free_mbufs != nullptr) {
+    FreeBlock* b = s.free_mbufs;
+    s.free_mbufs = b->next;
+    ::operator delete(b);
+  }
+  s = MbufPoolState{};
+}
+
+// ---------------------------------------------------------------------------
 // Mbuf
+
+void* Mbuf::operator new(size_t size) {
+  MbufPoolState& s = PS();
+  s.live_mbufs++;
+  if (s.live_mbufs > s.mbuf_high_watermark) {
+    s.mbuf_high_watermark = s.live_mbufs;
+  }
+  if (size == sizeof(Mbuf) && s.free_mbufs != nullptr) {
+    FreeBlock* b = s.free_mbufs;
+    s.free_mbufs = b->next;
+    s.parked_mbufs--;
+    s.mbuf_hits++;
+    return b;
+  }
+  s.mbuf_misses++;
+  return ::operator new(size);
+}
+
+void Mbuf::operator delete(void* p) {
+  MbufPoolState& s = PS();
+  if (s.live_mbufs > 0) {
+    s.live_mbufs--;
+  }
+  if (s.parked_mbufs < MbufPool::kMaxParkedMbufs) {
+    FreeBlock* b = static_cast<FreeBlock*>(p);
+    b->next = s.free_mbufs;
+    s.free_mbufs = b;
+    s.parked_mbufs++;
+    return;
+  }
+  ::operator delete(p);
+}
+
+Mbuf::~Mbuf() {
+  if (cluster_ && cluster_.use_count() == 1) {
+    MbufPoolState& s = PS();
+    if (s.live_clusters > 0) {
+      s.live_clusters--;
+    }
+    if (cluster_->size() == kClusterBytes && s.clusters.size() < MbufPool::kMaxParkedClusters) {
+      s.clusters.push_back(std::move(cluster_));
+    }
+  }
+}
 
 std::unique_ptr<Mbuf> Mbuf::Get(size_t leading) {
   assert(leading <= kMbufInline);
@@ -18,7 +115,22 @@ std::unique_ptr<Mbuf> Mbuf::Get(size_t leading) {
 std::unique_ptr<Mbuf> Mbuf::GetCluster(size_t capacity, size_t leading) {
   assert(leading <= capacity);
   auto m = std::unique_ptr<Mbuf>(new Mbuf());
-  m->cluster_ = std::make_shared<std::vector<uint8_t>>(capacity);
+  MbufPoolState& s = PS();
+  if (capacity == kClusterBytes && !s.clusters.empty()) {
+    m->cluster_ = std::move(s.clusters.back());
+    s.clusters.pop_back();
+    // Re-zero so a recycled cluster is indistinguishable from the freshly
+    // allocated (value-initialized) one it replaces.
+    std::fill(m->cluster_->begin(), m->cluster_->end(), uint8_t{0});
+    s.cluster_hits++;
+  } else {
+    m->cluster_ = std::make_shared<std::vector<uint8_t>>(capacity);
+    s.cluster_misses++;
+  }
+  s.live_clusters++;
+  if (s.live_clusters > s.cluster_high_watermark) {
+    s.cluster_high_watermark = s.live_clusters;
+  }
   m->off_ = leading;
   return m;
 }

@@ -28,6 +28,33 @@ constexpr size_t kClusterBytes = 2048;
 // Inline capacity of a small mbuf (BSD: MLEN ~ 108 on 4.3).
 constexpr size_t kMbufInline = 112;
 
+// Recycling pools behind Mbuf allocation (stats side; the pools themselves
+// are internal to mbuf.cc). Mbuf objects are recycled through class-level
+// operator new/delete; kClusterBytes cluster buffers are recycled —
+// control block, vector and heap storage together — when the last
+// reference dies, and re-zeroed on reissue so a recycled cluster is
+// indistinguishable from a fresh one. Like every engine structure, the
+// pools rely on the simulator's strict token handoff instead of locks.
+class MbufPool {
+ public:
+  static constexpr size_t kMaxParkedMbufs = 8192;
+  static constexpr size_t kMaxParkedClusters = 4096;
+
+  static uint64_t mbuf_hits();
+  static uint64_t mbuf_misses();
+  static uint64_t cluster_hits();
+  static uint64_t cluster_misses();
+  static uint64_t live_mbufs();
+  static uint64_t mbuf_high_watermark();
+  static uint64_t live_clusters();
+  static uint64_t cluster_high_watermark();
+  static size_t parked_mbufs();
+  static size_t parked_clusters();
+
+  // Frees every parked object and zeroes the counters (test isolation).
+  static void ResetForTest();
+};
+
 class Mbuf {
  public:
   // Small mbuf with inline storage. `leading` reserves headroom for
@@ -73,6 +100,12 @@ class Mbuf {
 
   // Shallow copy sharing cluster storage; inline data is duplicated.
   std::unique_ptr<Mbuf> ShareCopy(size_t offset, size_t n) const;
+
+  // Recycles the cluster into MbufPool when this was its last reference.
+  ~Mbuf();
+  // Mbuf objects themselves come from a freelist.
+  static void* operator new(size_t size);
+  static void operator delete(void* p);
 
  private:
   Mbuf() = default;

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "src/netsim/frame_pool.h"
+
 namespace psd {
 
 struct MacAddr {
@@ -53,12 +55,54 @@ struct MacAddr {
 // copy/move the delivery paths make (NIC rings, kernel queues, SHM rings).
 // The id is observability metadata only: it never reaches the wire encoding,
 // never affects protocol behavior, and is 0 for frames nobody minted.
+//
+// Frame storage is recycled through FramePool: copies draw their buffer
+// from the pool and the destructor parks the buffer for reuse, so the
+// copy-heavy delivery paths (wire fan-out, rings, queues) stop hitting the
+// allocator. pkt_id is a member of the Frame object, never of the pooled
+// buffer, so recycling cannot leak ids between packets.
 struct Frame : public std::vector<uint8_t> {
   using Base = std::vector<uint8_t>;
   using Base::Base;
   Frame() = default;
-  Frame(const Base& b) : Base(b) {}       // NOLINT(runtime/explicit)
-  Frame(Base&& b) : Base(std::move(b)) {}  // NOLINT(runtime/explicit)
+  Frame(const Base& b) : Base(FramePool::CopyOf(b)) {}  // NOLINT(runtime/explicit)
+  Frame(Base&& b) : Base(std::move(b)) {}               // NOLINT(runtime/explicit)
+
+  Frame(const Frame& o) : Base(FramePool::CopyOf(o)), pkt_id(o.pkt_id) {}
+  Frame& operator=(const Frame& o) {
+    Base::operator=(o);  // reuses this frame's existing capacity
+    pkt_id = o.pkt_id;
+    return *this;
+  }
+  Frame(Frame&&) noexcept = default;
+  Frame& operator=(Frame&& o) noexcept {
+    if (this != &o) {
+      // Vector move-assignment frees the destination's old buffer; park it
+      // instead (consumers reuse one Frame across a pop loop, and ring
+      // slots are overwritten in place — both would otherwise leak buffers
+      // out of the pool on every packet).
+      if (capacity() != 0) {
+        FramePool::Recycle(static_cast<Base&&>(*this));
+      }
+      Base::operator=(static_cast<Base&&>(o));
+      pkt_id = o.pkt_id;
+    }
+    return *this;
+  }
+  ~Frame() {
+    if (capacity() != 0) {
+      FramePool::Recycle(static_cast<Base&&>(*this));
+    }
+  }
+
+  // A zero-filled frame of `n` bytes on pooled storage; the caller writes
+  // the real bytes over it (serialization paths that build in place).
+  static Frame OfSize(size_t n) {
+    Frame f;
+    static_cast<Base&>(f) = FramePool::Acquire(n);
+    f.resize(n);  // value-initializes: no stale payload from the pool
+    return f;
+  }
 
   uint64_t pkt_id = 0;
 };

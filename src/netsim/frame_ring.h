@@ -1,0 +1,51 @@
+// Fixed-capacity circular buffer of Frames.
+//
+// Models device rx memory (src/netsim/nic.h) and bounded kernel packet
+// queues (src/kern/packet_queue.h). Slots are preallocated Frame objects;
+// Push/Pop move frames in and out, so a steady-state producer/consumer pair
+// touches the allocator only through FramePool: a popped slot's old buffer
+// is recycled by Frame's move-assignment replacing it, and the pool hands
+// it back on the next Acquire.
+#ifndef PSD_SRC_NETSIM_FRAME_RING_H_
+#define PSD_SRC_NETSIM_FRAME_RING_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/netsim/ether.h"
+
+namespace psd {
+
+class FrameRing {
+ public:
+  explicit FrameRing(size_t capacity) : slots_(capacity) {}
+
+  bool empty() const { return count_ == 0; }
+  bool full() const { return count_ == slots_.size(); }
+  size_t size() const { return count_; }
+  size_t capacity() const { return slots_.size(); }
+
+  const Frame& front() const { return slots_[head_]; }
+
+  void Push(Frame&& f) {
+    slots_[(head_ + count_) % slots_.size()] = std::move(f);
+    count_++;
+  }
+
+  Frame Pop() {
+    Frame f = std::move(slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    count_--;
+    return f;
+  }
+
+ private:
+  std::vector<Frame> slots_;
+  size_t head_ = 0;
+  size_t count_ = 0;
+};
+
+}  // namespace psd
+
+#endif  // PSD_SRC_NETSIM_FRAME_RING_H_

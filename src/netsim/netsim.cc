@@ -224,12 +224,19 @@ void EthernetSegment::Transmit(Nic* src, Frame frame, std::function<void()> done
       tracer_->Instant(sim_, "wire/reorder", TraceLayer::kWire);
     }
   }
-  Deliver(src, frame, deliver_at);
-  if (faults_.dup_rate > 0 && dup_rng_.Chance(faults_.dup_rate)) {
+  // The duplicate's copy is taken before the primary frame moves into its
+  // delivery event. The dup-stream draw happens here rather than after
+  // Deliver(), which is unobservable: Deliver draws from no RNG stream.
+  const bool dup_this = faults_.dup_rate > 0 && dup_rng_.Chance(faults_.dup_rate);
+  Frame dup;
+  uint64_t parent = frame.pkt_id;
+  if (dup_this) {
+    dup = frame;
+  }
+  Deliver(src, std::move(frame), deliver_at);
+  if (dup_this) {
     // The duplicate is its own packet: new id, aux links back to the
     // original so pktwalk can show the clone relationship.
-    Frame dup = frame;
-    uint64_t parent = frame.pkt_id;
     dup.pkt_id = PacketJourney::Get().Mint();
     if (dup.pkt_id != 0) {
       PacketJourney::Get().Hop(dup.pkt_id, TraceLayer::kWire, "wire/dup", deliver_at, parent);
@@ -245,16 +252,32 @@ void EthernetSegment::Transmit(Nic* src, Frame frame, std::function<void()> done
     if (tracer_ != nullptr && tracer_->enabled()) {
       tracer_->Instant(sim_, "wire/dup", TraceLayer::kWire);
     }
-    Deliver(src, dup, deliver_at + WireTime(dup.size()));
+    SimDuration dup_wire = WireTime(dup.size());
+    Deliver(src, std::move(dup), deliver_at + dup_wire);
   }
   if (done) {
     sim_->Schedule(end, std::move(done));
   }
 }
 
-void EthernetSegment::Deliver(Nic* src, const Frame& frame, SimTime at) {
+void EthernetSegment::Deliver(Nic* src, Frame frame, SimTime at) {
+  // Hardware MAC filtering is resolved here, at target computation: a
+  // bystander NIC that would discard the frame anyway never costs a frame
+  // copy or a delivery event. The whole fan-out of one frame then rides in
+  // ONE drain event (the frame moved, not copied, for the common unicast
+  // case) instead of one frame-copying closure per NIC. Targets are
+  // visited in attach order inside that event — the same order the
+  // per-NIC events executed in (their sequence numbers were consecutive),
+  // so execution order is byte-identical. Deliveries of *different*
+  // frames are never coalesced: a third-party event scheduled between two
+  // Transmit calls at the same instant must keep its place between them.
   const bool partitioned = !faults_.partitions.empty();
   int src_idx = partitioned ? IndexOf(src) : -1;
+  MacAddr dst;
+  std::memcpy(dst.b.data(), frame.data(), 6);
+  const bool bcast = dst.IsBroadcast();
+  Nic* single = nullptr;                 // unicast/2-NIC fast path: no vector
+  std::vector<Nic*> targets;             // broadcast on wider segments
   for (Nic* nic : nics_) {
     if (nic == src) {
       continue;
@@ -265,8 +288,6 @@ void EthernetSegment::Deliver(Nic* src, const Frame& frame, SimTime at) {
       // frame was addressed to; a blocked broadcast copy (or a copy for a
       // bystander NIC that would have MAC-filtered it anyway) is not this
       // packet's fate.
-      MacAddr dst;
-      std::memcpy(dst.b.data(), frame.data(), 6);
       if (dst == nic->mac()) {
         DropLedger::Get().Record(frame.pkt_id, TraceLayer::kWire, DropReason::kWirePartition, at,
                                  "wire");
@@ -276,7 +297,30 @@ void EthernetSegment::Deliver(Nic* src, const Frame& frame, SimTime at) {
       }
       continue;
     }
-    sim_->Schedule(at, [nic, frame] { nic->DeliverFromWire(frame); });
+    if (!bcast && !(dst == nic->mac())) {
+      continue;
+    }
+    if (single == nullptr && targets.empty()) {
+      single = nic;
+    } else {
+      if (targets.empty()) {
+        targets.push_back(single);
+        single = nullptr;
+      }
+      targets.push_back(nic);
+    }
+  }
+  if (single != nullptr) {
+    sim_->Schedule(at, [nic = single, f = std::move(frame)]() mutable {
+      nic->DeliverFromWire(std::move(f));
+    });
+  } else if (!targets.empty()) {
+    sim_->Schedule(at, [ts = std::move(targets), f = std::move(frame)]() mutable {
+      for (size_t i = 0; i + 1 < ts.size(); i++) {
+        ts[i]->DeliverFromWire(f);
+      }
+      ts.back()->DeliverFromWire(std::move(f));
+    });
   }
 }
 
@@ -292,14 +336,16 @@ void Nic::Transmit(Frame frame) {
   segment_->Transmit(this, std::move(frame));
 }
 
-void Nic::DeliverFromWire(const Frame& frame) {
-  // Hardware MAC filtering: accept our unicast address and broadcast.
+void Nic::DeliverFromWire(Frame frame) {
+  // Hardware MAC filtering: accept our unicast address and broadcast. The
+  // segment already filters at target computation; this stays for frames
+  // injected directly (tests, raw tools).
   MacAddr dst;
   std::memcpy(dst.b.data(), frame.data(), 6);
   if (!(dst == mac_) && !dst.IsBroadcast()) {
     return;
   }
-  if (rx_ring_.size() >= params_.rx_ring_frames) {
+  if (rx_ring_.full()) {
     rx_dropped_++;
     DropLedger::Get().Record(frame.pkt_id, TraceLayer::kWire, DropReason::kNicRingOverflow,
                              sim_->Now(), name_);
@@ -309,7 +355,7 @@ void Nic::DeliverFromWire(const Frame& frame) {
   rx_frames_++;
   PacketJourney::Get().Hop(frame.pkt_id, TraceLayer::kWire, name_, sim_->Now());
   bool was_empty = rx_ring_.empty();
-  rx_ring_.push_back(frame);
+  rx_ring_.Push(std::move(frame));
   if (was_empty && rx_notify_) {
     rx_notify_();
   }

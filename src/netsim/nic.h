@@ -15,7 +15,6 @@
 #define PSD_SRC_NETSIM_NIC_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <string>
 #include <utility>
@@ -23,6 +22,7 @@
 #include "src/base/time.h"
 #include "src/cost/machine_profile.h"
 #include "src/netsim/ether.h"
+#include "src/netsim/frame_ring.h"
 #include "src/netsim/segment.h"
 #include "src/sim/simulator.h"
 
@@ -45,7 +45,11 @@ struct NicParams {
 class Nic {
  public:
   Nic(Simulator* sim, HostCpu* cpu, std::string name, NicParams params)
-      : sim_(sim), cpu_(cpu), name_(std::move(name)), params_(params) {}
+      : sim_(sim),
+        cpu_(cpu),
+        name_(std::move(name)),
+        params_(params),
+        rx_ring_(params.rx_ring_frames) {}
 
   void Attach(EthernetSegment* segment, MacAddr mac) {
     segment_ = segment;
@@ -67,19 +71,17 @@ class Nic {
   // bytes must be charged via rx_read_per_byte (the integrated packet filter
   // reads only the headers this way).
   const Frame& RxHead() const { return rx_ring_.front(); }
-  Frame RxPop() {
-    Frame f = std::move(rx_ring_.front());
-    rx_ring_.pop_front();
-    return f;
-  }
+  Frame RxPop() { return rx_ring_.Pop(); }
 
   // Transmits a frame. Must be called from SimThread context; charges the
   // device-write cost for placing the frame into tx memory, then hands the
   // frame to the segment for serialization.
   void Transmit(Frame frame);
 
-  // Called by the segment on frame arrival (event context).
-  void DeliverFromWire(const Frame& frame);
+  // Called by the segment on frame arrival (event context). Takes the
+  // frame by value so the segment's single-target fan-out can move it all
+  // the way into the rx ring without a copy.
+  void DeliverFromWire(Frame frame);
 
   const NicParams& params() const { return params_; }
   uint64_t rx_dropped() const { return rx_dropped_; }
@@ -94,7 +96,7 @@ class Nic {
   EthernetSegment* segment_ = nullptr;
   MacAddr mac_;
   std::function<void()> rx_notify_;
-  std::deque<Frame> rx_ring_;
+  FrameRing rx_ring_;
   uint64_t rx_dropped_ = 0;
   uint64_t rx_frames_ = 0;
   uint64_t tx_frames_ = 0;

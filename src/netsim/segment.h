@@ -140,7 +140,11 @@ class EthernetSegment {
   uint64_t frames_shaper_dropped() const { return frames_shaper_dropped_; }
 
  private:
-  void Deliver(Nic* src, const Frame& frame, SimTime at);
+  // Computes the frame's target NICs (hardware MAC filter plus partition
+  // faults resolved at the segment) and schedules one drain event carrying
+  // the frame for the whole fan-out. See the comment at the definition for
+  // why different frames are never coalesced into one event.
+  void Deliver(Nic* src, Frame frame, SimTime at);
   // Applies 1-2 bit flips within one aligned 16-bit word of the frame's
   // IP datagram (header or payload), never the stored UDP checksum word —
   // zeroing it would disable the receiver's validation (RFC 768) and make

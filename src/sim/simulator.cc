@@ -1,13 +1,27 @@
 #include "src/sim/simulator.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdlib>
 #include <exception>
 
 #include "src/base/log.h"
+#include <cstdio>
 
 namespace psd {
 
-Simulator::Simulator() = default;
+namespace {
+
+// Min-heap comparator for the legacy backend: true when `a` executes later.
+bool NodeAfter(const EventNode* a, const EventNode* b) { return b->Before(*a); }
+
+}  // namespace
+
+Simulator::Simulator() {
+  const char* env = std::getenv("PSD_SIM_HEAP_SCHEDULER");
+  use_heap_ = env != nullptr && *env != '\0' && *env != '0';
+  trace_ = std::getenv("PSD_SIM_TRACE") != nullptr;
+}
 
 Simulator::~Simulator() {
   shutting_down_ = true;
@@ -20,40 +34,166 @@ Simulator::~Simulator() {
       current_ = nullptr;
     }
   }
-  threads_.clear();  // joins OS threads
+  threads_.clear();
+  // Destroy pending callables without running them. Nodes themselves are
+  // freed with the arena's chunks.
+  for (EventNode* n = ready_head_; n != nullptr; n = n->next) {
+    n->DestroyCallable();
+  }
+  for (EventNode* n : heap_) {
+    n->DestroyCallable();
+  }
+  wheel_.ForEachPending([](EventNode* n) { n->DestroyCallable(); });
 }
 
-void Simulator::Schedule(SimTime t, std::function<void()> fn) {
-  assert(t >= now_);
-  events_.push(Event{t, next_seq_++, std::move(fn)});
+void Simulator::InsertNode(EventNode* n) {
+  if (n->time <= now_) {
+    // Scheduled for "right now": seq monotonicity makes FIFO order the
+    // (time, seq) order, so no ordering structure is needed.
+    assert(n->time == now_);
+    n->next = nullptr;
+    if (ready_tail_ != nullptr) {
+      ready_tail_->next = n;
+    } else {
+      ready_head_ = n;
+    }
+    ready_tail_ = n;
+  } else if (use_heap_) {
+    heap_.push_back(n);
+    std::push_heap(heap_.begin(), heap_.end(), NodeAfter);
+  } else {
+    wheel_.Insert(n);
+  }
 }
 
-void Simulator::ScheduleCharged(HostCpu* cpu, SimDuration cost, std::function<void()> fn) {
-  SimTime end = cpu->Acquire(now_, cost);
-  cpu->AccountBusy(cost);
-  Schedule(end, std::move(fn));
+EventNode* Simulator::ScheduleResume(SimThread* t, SimTime when) {
+  EventNode* n = NewNode(when);
+  n->resumes = t;
+  InsertNode(n);
+  return n;
+}
+
+EventNode* Simulator::PeekNext() {
+  EventNode* b;
+  if (use_heap_) {
+    b = heap_.empty() ? nullptr : heap_.front();
+  } else {
+    b = wheel_.Front();
+  }
+  EventNode* r = ready_head_;
+  if (r == nullptr) {
+    return b;
+  }
+  if (b == nullptr) {
+    return r;
+  }
+  return r->Before(*b) ? r : b;
+}
+
+void Simulator::RemovePeeked(EventNode* n) {
+  if (n == ready_head_) {
+    ready_head_ = n->next;
+    if (ready_head_ == nullptr) {
+      ready_tail_ = nullptr;
+    }
+    n->next = nullptr;
+  } else if (use_heap_) {
+    std::pop_heap(heap_.begin(), heap_.end(), NodeAfter);
+    assert(heap_.back() == n);
+    heap_.pop_back();
+  } else {
+    wheel_.PopFront();
+  }
 }
 
 SimThread* Simulator::Spawn(std::string name, HostCpu* cpu, std::function<void()> body) {
   auto t = std::unique_ptr<SimThread>(new SimThread(this, std::move(name), cpu, std::move(body)));
   SimThread* raw = t.get();
   threads_.push_back(std::move(t));
-  Schedule(now_, [this, raw] { ResumeThread(raw); });
+  ScheduleResume(raw, now_);
   return raw;
 }
 
 void Simulator::Run(SimTime until) {
   stopped_ = false;
-  while (!stopped_ && !events_.empty() && events_.top().time <= until) {
-    Event ev = events_.top();
-    events_.pop();
-    now_ = ev.time;
+  in_run_ = true;
+  run_until_ = until;
+  for (;;) {
+    EventNode* n = PeekNext();
+    if (stopped_ || n == nullptr || n->time > until) {
+      break;
+    }
+    RemovePeeked(n);
+    now_ = n->time;
     events_executed_++;
-    ev.fn();
+    if (trace_) std::fprintf(stderr, "EV %lld %llu\n", (long long)n->time, (unsigned long long)n->seq);
+    if (n->resumes != nullptr) {
+      SimThread* t = n->resumes;
+      arena_.Free(n);
+      ResumeThread(t);
+    } else {
+      n->invoke(n);
+      n->DestroyCallable();
+      arena_.Free(n);
+    }
   }
+  in_run_ = false;
   if (until != kTimeNever && now_ < until && !stopped_) {
     now_ = until;
   }
+}
+
+bool Simulator::TryFastResume(SimThread* t, EventNode* n) {
+  assert(current_ == t);
+  if (!in_run_ || shutting_down_) {
+    return false;
+  }
+  // Drain events inline on this OS thread until the calling thread's own
+  // wakeup `n` comes up, in which case the thread just keeps going — zero
+  // handoffs. Closures run in event context exactly as the loop would run
+  // them, and a parked foreign thread is resumed directly (one wake/park
+  // pair instead of two via the event-loop thread); this OS thread blocks
+  // until it yields, then keeps draining. The one case that aborts the
+  // drain is a resume for a non-parked thread: that thread is blocked
+  // inside someone's RunUntilBlocked further up the token chain, so the
+  // only way to reach it is to park — the token then unwinds resumer by
+  // resumer until the drain loop holding that thread's frame continues and
+  // finds its own wakeup on top. Virtual behavior (time, order, event
+  // count) is identical to the loop running everything.
+  while (!stopped_) {
+    EventNode* top = PeekNext();
+    if (top == nullptr || top->time > run_until_) {
+      return false;
+    }
+    SimThread* u = top->resumes;
+    if (u != nullptr && u != t && !u->parked_ && !u->finished_) {
+      return false;  // on the token chain above us: unwind to it
+    }
+    RemovePeeked(top);
+    now_ = top->time;
+    events_executed_++;
+    if (trace_) std::fprintf(stderr, "EV %lld %llu\n", (long long)top->time, (unsigned long long)top->seq);
+    if (top == n) {
+      arena_.Free(n);
+      return true;
+    }
+    if (u != nullptr) {
+      arena_.Free(top);
+      if (!u->finished_) {
+        thread_switches_++;
+        current_ = u;
+        u->RunUntilBlocked();
+        current_ = t;
+      }
+    } else {
+      current_ = nullptr;
+      top->invoke(top);
+      top->DestroyCallable();
+      current_ = t;
+      arena_.Free(top);
+    }
+  }
+  return false;
 }
 
 void Simulator::KillThread(SimThread* t) {
@@ -68,11 +208,11 @@ void Simulator::KillThread(SimThread* t) {
 
 void Simulator::ResumeThread(SimThread* t) {
   if (t->finished_) {
-    return;
+    return;  // stale wakeup for a killed thread
   }
   assert(current_ == nullptr && "nested thread resume");
+  thread_switches_++;
   current_ = t;
-  t->resume_scheduled_ = false;
   t->RunUntilBlocked();
   current_ = nullptr;
 }
@@ -81,57 +221,52 @@ void Simulator::ResumeThread(SimThread* t) {
 // SimThread
 
 SimThread::SimThread(Simulator* sim, std::string name, HostCpu* cpu, std::function<void()> body)
-    : sim_(sim), name_(std::move(name)), cpu_(cpu) {
-  os_thread_ = std::thread([this, body = std::move(body)]() mutable { ThreadMain(std::move(body)); });
+    : sim_(sim), name_(std::move(name)), cpu_(cpu), body_(std::move(body)) {
+  stack_.reset(new uint8_t[kStackBytes]);
+  getcontext(&fiber_ctx_);
+  fiber_ctx_.uc_stack.ss_sp = stack_.get();
+  fiber_ctx_.uc_stack.ss_size = kStackBytes;
+  fiber_ctx_.uc_link = nullptr;  // FiberMain swaps back explicitly
+  uintptr_t self = reinterpret_cast<uintptr_t>(this);
+  makecontext(&fiber_ctx_, reinterpret_cast<void (*)()>(&SimThread::FiberTrampoline), 2,
+              static_cast<unsigned>(self >> 32), static_cast<unsigned>(self & 0xffffffffu));
 }
 
-SimThread::~SimThread() {
-  if (os_thread_.joinable()) {
-    os_thread_.join();
-  }
+void SimThread::FiberTrampoline(unsigned hi, unsigned lo) {
+  uintptr_t p = (static_cast<uintptr_t>(hi) << 32) | static_cast<uintptr_t>(lo);
+  reinterpret_cast<SimThread*>(p)->FiberMain();
 }
 
-void SimThread::ThreadMain(std::function<void()> body) {
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return thread_has_token_; });
-  }
+void SimThread::FiberMain() {
   try {
     CheckShutdown();
+    // Run the body from a local so its captures die with the body, not with
+    // the SimThread object (which outlives it in Simulator::threads_).
+    std::function<void()> body = std::move(body_);
     body();
   } catch (const SimShutdown&) {
     // Normal teardown path.
   }
   finished_ = true;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    thread_has_token_ = false;
-  }
-  cv_.notify_all();
+  parked_ = true;
+  // Final exit; whoever entered this fiber frees the stack.
+  swapcontext(&fiber_ctx_, &return_ctx_);
 }
 
 void SimThread::RunUntilBlocked() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    thread_has_token_ = true;
-  }
-  cv_.notify_all();
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return !thread_has_token_; });
+  parked_ = false;
+  // Each entry freshly records the caller's context, so nested drain chains
+  // (fiber A drains and enters fiber B, which later yields) unwind to the
+  // right frame.
+  swapcontext(&return_ctx_, &fiber_ctx_);
+  if (finished_ && stack_ != nullptr) {
+    stack_.reset();  // dead fibers keep their SimThread, not their stack
   }
 }
 
 void SimThread::YieldToSimulator() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    thread_has_token_ = false;
-  }
-  cv_.notify_all();
-  {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return thread_has_token_; });
-  }
+  parked_ = true;
+  swapcontext(&fiber_ctx_, &return_ctx_);
   CheckShutdown();
 }
 
@@ -157,7 +292,13 @@ void SimThread::SleepUntil(SimTime t) {
   if (sim_->shutting_down_ || killed_) {
     return;
   }
-  sim_->Schedule(t, [this] { sim_->ResumeThread(this); });
+  EventNode* n = sim_->ScheduleResume(this, t);
+  if (sim_->TryFastResume(this, n)) {
+    // Our wakeup was the next event anyway: time advanced, the event was
+    // consumed and counted, and this OS thread just keeps going — no
+    // round trip through the event-loop thread.
+    return;
+  }
   YieldToSimulator();
 }
 
@@ -174,18 +315,13 @@ bool SimThread::WaitOn(WaitQueue* q, SimTime deadline) {
   uint64_t epoch = wait_epoch_;
   timed_out_ = false;
   waiting_on_ = q;
-  q->waiters_.push_back(this);
+  q->PushBack(this);
   if (deadline != kTimeNever) {
     sim_->Schedule(deadline, [this, q, epoch] {
       if (waiting_on_ == q && wait_epoch_ == epoch) {
         timed_out_ = true;
         waiting_on_ = nullptr;
-        for (auto it = q->waiters_.begin(); it != q->waiters_.end(); ++it) {
-          if (*it == this) {
-            q->waiters_.erase(it);
-            break;
-          }
-        }
+        q->Remove(this);
         sim_->ResumeThread(this);
       }
     });
@@ -198,12 +334,7 @@ bool SimThread::WaitOn(WaitQueue* q, SimTime deadline) {
     // entry is only removed on targeted kills (component destructors kill
     // their threads before freeing the queues they wait on).
     if (!sim_->shutting_down_ && waiting_on_ != nullptr) {
-      for (auto it = waiting_on_->waiters_.begin(); it != waiting_on_->waiters_.end(); ++it) {
-        if (*it == this) {
-          waiting_on_->waiters_.erase(it);
-          break;
-        }
-      }
+      waiting_on_->Remove(this);
       waiting_on_ = nullptr;
     }
     throw;
@@ -214,16 +345,53 @@ bool SimThread::WaitOn(WaitQueue* q, SimTime deadline) {
 // ---------------------------------------------------------------------------
 // WaitQueue
 
+void WaitQueue::PushBack(SimThread* t) {
+  t->wait_prev_ = tail_;
+  t->wait_next_ = nullptr;
+  if (tail_ != nullptr) {
+    tail_->wait_next_ = t;
+  } else {
+    head_ = t;
+  }
+  tail_ = t;
+  size_++;
+}
+
+SimThread* WaitQueue::PopFront() {
+  SimThread* t = head_;
+  if (t != nullptr) {
+    Remove(t);
+  }
+  return t;
+}
+
+void WaitQueue::Remove(SimThread* t) {
+  if (t->wait_prev_ != nullptr) {
+    t->wait_prev_->wait_next_ = t->wait_next_;
+  } else {
+    assert(head_ == t);
+    head_ = t->wait_next_;
+  }
+  if (t->wait_next_ != nullptr) {
+    t->wait_next_->wait_prev_ = t->wait_prev_;
+  } else {
+    assert(tail_ == t);
+    tail_ = t->wait_prev_;
+  }
+  t->wait_next_ = nullptr;
+  t->wait_prev_ = nullptr;
+  size_--;
+}
+
 bool WaitQueue::NotifyOne() {
-  if (waiters_.empty()) {
+  SimThread* t = PopFront();
+  if (t == nullptr) {
     return false;
   }
-  SimThread* t = waiters_.front();
-  waiters_.pop_front();
   t->waiting_on_ = nullptr;
   t->wait_epoch_++;  // invalidates any pending timeout event
   t->timed_out_ = false;
-  sim_->Schedule(sim_->Now(), [t] { t->sim_->ResumeThread(t); });
+  sim_->ScheduleResume(t, sim_->now_);
   return true;
 }
 

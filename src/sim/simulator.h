@@ -1,33 +1,45 @@
 // Deterministic discrete-event simulator.
 //
 // Execution model:
-//  * A single logical thread of control. The simulator event loop runs on the
-//    caller's OS thread; SimThreads run user code in ordinary blocking style
-//    on dedicated OS threads, but control is handed off strictly (exactly one
-//    of {event loop, some SimThread} runs at any instant), so simulation
-//    state needs no locking and runs are bit-for-bit reproducible.
+//  * A single thread of control — literally: SimThreads are fibers
+//    (ucontext stacks) multiplexed on the caller's OS thread. User code
+//    still runs in ordinary blocking style; control transfers are direct
+//    swapcontext jumps (~100ns) instead of futex round trips, which is
+//    what makes the per-event cost independent of host scheduler load.
+//    Exactly one of {event loop, some SimThread} runs at any instant, so
+//    simulation state needs no locking and runs are bit-for-bit
+//    reproducible.
 //  * Virtual time advances only between events. Events at equal times run in
 //    schedule order (monotonic sequence tie-break).
 //  * CPU time is modelled per host by HostCpu: charging N ns of CPU occupies
 //    the host CPU for N virtual ns, serializing against every other charge on
 //    the same host (threads, softirqs and interrupt handlers contend for the
 //    CPU exactly as on the paper's uniprocessor DECstation).
+//
+// Scheduler internals (see DESIGN.md "Engine internals"): events are
+// arena-recycled EventNodes ordered by (time, seq) in a hierarchical timer
+// wheel — or, with PSD_SIM_HEAP_SCHEDULER=1 in the environment, in the
+// legacy binary-heap order structure, kept for differential determinism
+// tests. Both execute the exact same (time, seq) sequence. Two wall-clock
+// fast paths that never change virtual behavior: events scheduled at
+// exactly Now() go to a FIFO (no ordering structure needed — sequence
+// numbers are monotonic), and a thread whose own wakeup is the next event
+// continues without handing control to the event-loop OS thread.
 #ifndef PSD_SRC_SIM_SIMULATOR_H_
 #define PSD_SRC_SIM_SIMULATOR_H_
 
-#include <algorithm>
-#include <condition_variable>
+#include <ucontext.h>
+
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <queue>
 #include <string>
-#include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/base/time.h"
+#include "src/sim/event_node.h"
+#include "src/sim/timer_wheel.h"
 
 namespace psd {
 
@@ -73,13 +85,30 @@ class Simulator {
 
   SimTime Now() const { return now_; }
 
-  // Schedules `fn` to run in event context at virtual time `t` (>= Now()).
-  void Schedule(SimTime t, std::function<void()> fn);
-  void ScheduleAfter(SimDuration d, std::function<void()> fn) { Schedule(now_ + d, std::move(fn)); }
+  // Schedules `fn` to run in event context at virtual time `t`. A `t`
+  // already in the past is clamped to Now() (and counted — see
+  // past_time_clamps()): the event runs after everything already queued at
+  // Now(), which is the only order that doesn't reorder against intent.
+  template <typename F>
+  void Schedule(SimTime t, F&& fn) {
+    EventNode* n = NewNode(t);
+    n->EmplaceCallable(std::forward<F>(fn));
+    InsertNode(n);
+  }
+
+  template <typename F>
+  void ScheduleAfter(SimDuration d, F&& fn) {
+    Schedule(now_ + d, std::forward<F>(fn));
+  }
 
   // Schedules `fn` after charging `cost` of CPU on `cpu` (interrupt-handler
   // style execution: the charge serializes against thread charges).
-  void ScheduleCharged(HostCpu* cpu, SimDuration cost, std::function<void()> fn);
+  template <typename F>
+  void ScheduleCharged(HostCpu* cpu, SimDuration cost, F&& fn) {
+    SimTime end = cpu->Acquire(now_, cost);
+    cpu->AccountBusy(cost);
+    Schedule(end, std::forward<F>(fn));
+  }
 
   // Spawns a simulated thread executing `body`. The thread starts at the
   // current virtual time (after currently queued events at this time).
@@ -105,37 +134,86 @@ class Simulator {
   // Number of events executed; useful for run-cost diagnostics.
   uint64_t events_executed() const { return events_executed_; }
 
+  // Number of Schedule() calls whose target time was already in the past.
+  uint64_t past_time_clamps() const { return past_time_clamps_; }
+
+  // Number of OS-level control transfers into a SimThread (each implies a
+  // matching park of the transferring side: two futex round trips on a
+  // contended host). The engine fast paths exist to minimize this number;
+  // bench/bench_engine reports it per packet.
+  uint64_t thread_switches() const { return thread_switches_; }
+
+  // True when PSD_SIM_HEAP_SCHEDULER selected the legacy heap backend.
+  bool using_heap_scheduler() const { return use_heap_; }
+
+  // Event-node arena stats, for engine diagnostics.
+  const EventArena& event_arena() const { return arena_; }
+
  private:
   friend class SimThread;
   friend class WaitQueue;
 
-  struct Event {
-    SimTime time;
-    uint64_t seq;
-    std::function<void()> fn;
-    bool operator>(const Event& o) const {
-      return time != o.time ? time > o.time : seq > o.seq;
+  EventNode* NewNode(SimTime t) {
+    if (t < now_) {
+      t = now_;
+      past_time_clamps_++;
     }
-  };
+    EventNode* n = arena_.Alloc();
+    n->time = t;
+    n->seq = next_seq_++;
+    return n;
+  }
+
+  void InsertNode(EventNode* n);
+  EventNode* ScheduleResume(SimThread* t, SimTime when);
+
+  // The pending node with the smallest (time, seq), or nullptr.
+  EventNode* PeekNext();
+  // Removes `n`, which the immediately preceding PeekNext() returned.
+  void RemovePeeked(EventNode* n);
+
+  // Thread-context fast path: drain events inline on the calling thread's
+  // OS thread — closures run in event context exactly as the loop would run
+  // them — until `n` (the caller's own wakeup) comes up, in which case the
+  // thread continues with zero handoffs (returns true), or a foreign
+  // thread's resume surfaces / the deadline passes, in which case the
+  // caller parks normally (returns false). Virtual behavior (time, event
+  // count, order) is exactly as if the loop ran everything.
+  bool TryFastResume(SimThread* t, EventNode* n);
 
   void ResumeThread(SimThread* t);
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_executed_ = 0;
+  uint64_t past_time_clamps_ = 0;
+  uint64_t thread_switches_ = 0;
   bool stopped_ = false;
   bool shutting_down_ = false;
+  bool in_run_ = false;
+  bool trace_ = false;
+  SimTime run_until_ = 0;
   SimThread* current_ = nullptr;
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+
+  EventArena arena_;
+  // FIFO of events scheduled at exactly Now(): they are younger (higher
+  // seq) than anything else at Now(), so plain append order is (time, seq)
+  // order. Drained against the backend front by (time, seq) comparison.
+  EventNode* ready_head_ = nullptr;
+  EventNode* ready_tail_ = nullptr;
+  bool use_heap_ = false;
+  TimerWheel wheel_;
+  std::vector<EventNode*> heap_;  // legacy backend (PSD_SIM_HEAP_SCHEDULER)
+
   std::vector<std::unique_ptr<SimThread>> threads_;
 };
 
-// A simulated thread. User code runs on a dedicated OS thread but under
+// A simulated thread. User code runs on a dedicated fiber stack under
 // strict hand-off with the simulator loop; use the blocking primitives below
 // instead of OS synchronization.
 class SimThread {
  public:
-  ~SimThread();
+  ~SimThread() = default;
 
   SimThread(const SimThread&) = delete;
   SimThread& operator=(const SimThread&) = delete;
@@ -166,10 +244,12 @@ class SimThread {
 
   SimThread(Simulator* sim, std::string name, HostCpu* cpu, std::function<void()> body);
 
-  void ThreadMain(std::function<void()> body);
-  // Transfers control: simulator -> thread. Runs on the simulator OS thread.
+  static void FiberTrampoline(unsigned hi, unsigned lo);
+  void FiberMain();
+  // Transfers control into this thread's fiber; returns when it yields or
+  // finishes. The caller's context becomes this fiber's return target.
   void RunUntilBlocked();
-  // Transfers control: thread -> simulator. Runs on this OS thread.
+  // Transfers control: fiber -> whoever entered it via RunUntilBlocked.
   void YieldToSimulator();
   void CheckShutdown();
 
@@ -177,24 +257,35 @@ class SimThread {
   std::string name_;
   HostCpu* cpu_;
 
-  // Hand-off machinery (the only OS-level synchronization in the system).
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool thread_has_token_ = false;
-  bool started_ = false;
+  // Fiber machinery. The body runs on its own heap-allocated stack; the
+  // stack is freed the moment the body finishes (threads accumulate in
+  // Simulator::threads_ over a run, their stacks must not).
+  static constexpr size_t kStackBytes = 1024 * 1024;
+  ucontext_t fiber_ctx_;
+  ucontext_t return_ctx_;
+  std::unique_ptr<uint8_t[]> stack_;
+  std::function<void()> body_;  // consumed at first entry
+
   bool finished_ = false;
+  // True while this thread is parked (yielded, or not yet started):
+  // entering it via RunUntilBlocked is safe from any running context.
+  // False while running or while blocked inside another thread's
+  // RunUntilBlocked (on the control-transfer chain) — entering it then
+  // would abandon the frame that is waiting for that transfer to return.
+  bool parked_ = true;
 
   // Wait bookkeeping (touched only under the simulation's logical lock).
   WaitQueue* waiting_on_ = nullptr;
+  SimThread* wait_next_ = nullptr;  // intrusive WaitQueue links
+  SimThread* wait_prev_ = nullptr;
   uint64_t wait_epoch_ = 0;
   bool timed_out_ = false;
-  bool resume_scheduled_ = false;
   bool killed_ = false;
-
-  std::thread os_thread_;
 };
 
 // FIFO wait queue (condition-variable-like). Notify wakes in wait order.
+// Waiters are chained intrusively through SimThread (a thread blocks on at
+// most one queue), so waiting allocates nothing and removal is O(1).
 class WaitQueue {
  public:
   explicit WaitQueue(Simulator* sim) : sim_(sim) {}
@@ -206,15 +297,21 @@ class WaitQueue {
   bool NotifyOne();
   void NotifyAll();
 
-  bool empty() const { return waiters_.empty(); }
-  size_t size() const { return waiters_.size(); }
+  bool empty() const { return head_ == nullptr; }
+  size_t size() const { return size_; }
   Simulator* simulator() const { return sim_; }
 
  private:
   friend class SimThread;
 
+  void PushBack(SimThread* t);
+  SimThread* PopFront();
+  void Remove(SimThread* t);
+
   Simulator* sim_;
-  std::deque<SimThread*> waiters_;
+  SimThread* head_ = nullptr;
+  SimThread* tail_ = nullptr;
+  size_t size_ = 0;
 };
 
 // Recursive-free sleeping mutex for protocol critical sections. Lock may

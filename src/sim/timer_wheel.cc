@@ -1,0 +1,239 @@
+#include "src/sim/timer_wheel.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace psd {
+
+namespace {
+bool NodeBefore(const EventNode* a, const EventNode* b) { return a->Before(*b); }
+}  // namespace
+
+int TimerWheel::NextSetBitFrom(const uint64_t* bits, uint64_t from) {
+  uint64_t word = from >> 6;
+  uint64_t masked = bits[word] & (~0ull << (from & 63));
+  for (;;) {
+    if (masked != 0) {
+      return static_cast<int>((word << 6) + static_cast<uint64_t>(__builtin_ctzll(masked)));
+    }
+    if (++word >= kSlots / 64) {
+      return -1;
+    }
+    masked = bits[word];
+  }
+}
+
+int TimerWheel::NextSetBitCyclicAfter(const uint64_t* bits, uint64_t start) {
+  uint64_t first = (start + 1) & kSlotMask;
+  int idx = NextSetBitFrom(bits, first);
+  if (idx < 0) {
+    idx = NextSetBitFrom(bits, 0);  // wrapped range [0, first)
+    if (idx < 0 || static_cast<uint64_t>(idx) >= first) {
+      return -1;
+    }
+  }
+  return static_cast<int>((static_cast<uint64_t>(idx) + kSlots - first) % kSlots) + 1;
+}
+
+void TimerWheel::Insert(EventNode* n) {
+  uint64_t slot = SlotOf(n->time);
+  size_++;
+  if (prepared_ && slot == cur_slot_) {
+    // Into the bucket being drained: later times than the clock but the same
+    // 4 us slot. Appended out of order; re-sorted lazily on next Front().
+    bucket_.push_back(n);
+    bucket_dirty_ = true;
+    return;
+  }
+  if (slot < cur_slot_) {
+    Rewind(slot);
+  }
+  InsertAt(n, slot);
+}
+
+void TimerWheel::InsertAt(EventNode* n, uint64_t slot) {
+  uint64_t page = PageOf(slot);
+  uint64_t cur_page = PageOf(cur_slot_);
+  if (page == cur_page) {
+    uint64_t i = slot & kSlotMask;
+    n->next = l0_[i];
+    l0_[i] = n;
+    SetBit(l0_bits_, i);
+  } else if (page - cur_page < kSlots) {
+    uint64_t i = page & kSlotMask;
+    n->next = l1_[i];
+    l1_[i] = n;
+    SetBit(l1_bits_, i);
+  } else {
+    n->next = nullptr;
+    overflow_.push_back(n);
+    if (page < overflow_min_page_) {
+      overflow_min_page_ = page;
+    }
+  }
+}
+
+// An insert landed behind the scan cursor (the cursor ran ahead of the
+// clock across an idle gap; a later Schedule targets the gap). Move the
+// cursor back. Within one page the rings stay valid — only the prepared
+// bucket has to be pushed back into its slot chain. Across pages the ring
+// index mapping changes, so every ring node is collected and re-inserted
+// relative to the new cursor. Rare (requires an idle gap followed by a
+// short-relative schedule), so O(pending) is fine.
+void TimerWheel::Rewind(uint64_t slot) {
+  if (prepared_) {
+    uint64_t i = cur_slot_ & kSlotMask;
+    for (size_t k = bucket_pos_; k < bucket_.size(); k++) {
+      bucket_[k]->next = l0_[i];
+      l0_[i] = bucket_[k];
+    }
+    if (l0_[i] != nullptr) {
+      SetBit(l0_bits_, i);
+    }
+    bucket_.clear();
+    bucket_pos_ = 0;
+    prepared_ = false;
+    bucket_dirty_ = false;
+  }
+  uint64_t cur_page = PageOf(cur_slot_);
+  cur_slot_ = slot;
+  if (PageOf(slot) == cur_page) {
+    return;
+  }
+  std::vector<EventNode*> all;
+  for (uint64_t i = 0; i < kSlots; i++) {
+    for (EventNode* n = l0_[i]; n != nullptr;) {
+      EventNode* next = n->next;
+      all.push_back(n);
+      n = next;
+    }
+    l0_[i] = nullptr;
+    for (EventNode* n = l1_[i]; n != nullptr;) {
+      EventNode* next = n->next;
+      all.push_back(n);
+      n = next;
+    }
+    l1_[i] = nullptr;
+  }
+  std::fill(std::begin(l0_bits_), std::end(l0_bits_), 0);
+  std::fill(std::begin(l1_bits_), std::end(l1_bits_), 0);
+  // Overflow stays put: its entries are beyond the old horizon, hence beyond
+  // the (earlier) new one too, or at worst pulled in a little late by the
+  // horizon check in AdvanceToPage.
+  for (EventNode* n : all) {
+    InsertAt(n, SlotOf(n->time));
+  }
+}
+
+void TimerWheel::AdvanceToPage(uint64_t page) {
+  cur_slot_ = page << kWheelBits;
+  if (overflow_min_page_ < page + kSlots) {
+    // Part of the overflow is now within the L1 horizon; re-home it.
+    std::vector<EventNode*> keep;
+    uint64_t new_min = kNoPage;
+    for (EventNode* n : overflow_) {
+      uint64_t p = PageOf(SlotOf(n->time));
+      if (p < page + kSlots) {
+        InsertAt(n, SlotOf(n->time));
+      } else {
+        keep.push_back(n);
+        if (p < new_min) {
+          new_min = p;
+        }
+      }
+    }
+    overflow_.swap(keep);
+    overflow_min_page_ = new_min;
+  }
+  // Cascade this page's L1 chain down into L0.
+  uint64_t ridx = page & kSlotMask;
+  EventNode* chain = l1_[ridx];
+  l1_[ridx] = nullptr;
+  ClearBit(l1_bits_, ridx);
+  while (chain != nullptr) {
+    EventNode* next = chain->next;
+    uint64_t slot = SlotOf(chain->time);
+    assert(PageOf(slot) == page);
+    uint64_t i = slot & kSlotMask;
+    chain->next = l0_[i];
+    l0_[i] = chain;
+    SetBit(l0_bits_, i);
+    chain = next;
+  }
+}
+
+void TimerWheel::LoadBucket(uint64_t ring_idx) {
+  bucket_.clear();
+  bucket_pos_ = 0;
+  for (EventNode* n = l0_[ring_idx]; n != nullptr;) {
+    EventNode* next = n->next;
+    bucket_.push_back(n);
+    n = next;
+  }
+  l0_[ring_idx] = nullptr;
+  ClearBit(l0_bits_, ring_idx);
+  std::sort(bucket_.begin(), bucket_.end(), NodeBefore);
+  prepared_ = true;
+  bucket_dirty_ = false;
+}
+
+bool TimerWheel::PrepareFront() {
+  if (prepared_) {
+    if (bucket_dirty_) {
+      std::sort(bucket_.begin() + static_cast<long>(bucket_pos_), bucket_.end(), NodeBefore);
+      bucket_dirty_ = false;
+    }
+    if (bucket_pos_ < bucket_.size()) {
+      return true;
+    }
+    prepared_ = false;
+    bucket_.clear();
+    bucket_pos_ = 0;
+    cur_slot_++;
+    if ((cur_slot_ & kSlotMask) == 0) {
+      // Crossed into the next page: its L1 chain must cascade into L0
+      // before any scan, or the cyclic L1 search (which starts after the
+      // current page's ring index) would miss it for a full revolution.
+      AdvanceToPage(PageOf(cur_slot_));
+    }
+  }
+  if (size_ == 0) {
+    return false;
+  }
+  for (;;) {
+    uint64_t cur_page = PageOf(cur_slot_);
+    int idx = NextSetBitFrom(l0_bits_, cur_slot_ & kSlotMask);
+    if (idx >= 0) {
+      cur_slot_ = (cur_page << kWheelBits) | static_cast<uint64_t>(idx);
+      LoadBucket(static_cast<uint64_t>(idx));
+      return true;
+    }
+    // This page is drained: jump straight to the next page holding work
+    // (L1 occupancy bitmap or the overflow minimum) instead of stepping.
+    uint64_t next_page = kNoPage;
+    int d = NextSetBitCyclicAfter(l1_bits_, cur_page & kSlotMask);
+    if (d > 0) {
+      next_page = cur_page + static_cast<uint64_t>(d);
+    }
+    if (overflow_min_page_ < next_page) {
+      next_page = overflow_min_page_;
+    }
+    assert(next_page != kNoPage && "size_ > 0 but no work in any level");
+    AdvanceToPage(next_page);
+  }
+}
+
+EventNode* TimerWheel::Front() {
+  if (!PrepareFront()) {
+    return nullptr;
+  }
+  return bucket_[bucket_pos_];
+}
+
+void TimerWheel::PopFront() {
+  assert(prepared_ && bucket_pos_ < bucket_.size());
+  bucket_pos_++;
+  size_--;
+}
+
+}  // namespace psd

@@ -1,0 +1,115 @@
+// Hierarchical timer wheel over EventNodes, with exact (time, seq) ordering.
+//
+// Two 1024-slot levels plus an overflow list:
+//   L0: one slot per 4.096 us of virtual time (kSlotBits), spanning ~4.2 ms.
+//   L1: one slot per L0 span (~4.2 ms), spanning ~4.3 s.
+//   overflow: everything beyond the L1 horizon (long protocol timers:
+//   TIME_WAIT, keepalive, watchdog deadlines), pulled back in page-sized
+//   portions as the scan approaches.
+//
+// Insert/remove are O(1) amortized; finding the next event is O(1) via
+// per-level occupancy bitmaps (no slot-by-slot crawl across idle gaps).
+//
+// Ordering is exact, not slot-approximate: the slot chain under the scan
+// cursor is drained into a bucket sorted by (time, seq), so execution order
+// is byte-identical to the priority-queue scheduler this replaces — that
+// equivalence is what keeps every digest, bench table and torture replay
+// reproducible (tests/sim/determinism_ab_test.cc proves it differentially).
+//
+// The wheel does not know the simulator's clock. The caller guarantees it
+// never inserts a node whose time precedes the last popped node; inserting
+// behind the *scan cursor* (which may have run ahead of the clock across an
+// idle gap, e.g. between two Run(until) calls) is legal and handled by
+// rewinding the cursor.
+#ifndef PSD_SRC_SIM_TIMER_WHEEL_H_
+#define PSD_SRC_SIM_TIMER_WHEEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/event_node.h"
+
+namespace psd {
+
+class TimerWheel {
+ public:
+  static constexpr int kSlotBits = 12;   // 4096 ns of virtual time per L0 slot
+  static constexpr int kWheelBits = 10;  // 1024 slots per level
+  static constexpr uint64_t kSlots = 1ull << kWheelBits;
+  static constexpr uint64_t kSlotMask = kSlots - 1;
+  static constexpr uint64_t kNoPage = ~0ull;
+
+  void Insert(EventNode* n);
+
+  // The pending node with the smallest (time, seq), or nullptr. May
+  // reorganize internal state (sort the front bucket, cascade levels).
+  EventNode* Front();
+
+  // Removes the node Front() just returned. Only valid after a non-null
+  // Front() with no intervening Insert.
+  void PopFront();
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Visits every pending node (teardown: destroy callables without running).
+  template <typename Fn>
+  void ForEachPending(Fn&& fn) {
+    for (size_t i = bucket_pos_; i < bucket_.size(); i++) {
+      fn(bucket_[i]);
+    }
+    for (uint64_t i = 0; i < kSlots; i++) {
+      for (EventNode* n = l0_[i]; n != nullptr; n = n->next) {
+        fn(n);
+      }
+      for (EventNode* n = l1_[i]; n != nullptr; n = n->next) {
+        fn(n);
+      }
+    }
+    for (EventNode* n : overflow_) {
+      fn(n);
+    }
+  }
+
+ private:
+  static uint64_t SlotOf(SimTime t) { return static_cast<uint64_t>(t) >> kSlotBits; }
+  static uint64_t PageOf(uint64_t slot) { return slot >> kWheelBits; }
+
+  void InsertAt(EventNode* n, uint64_t slot);
+  void Rewind(uint64_t slot);
+  void AdvanceToPage(uint64_t page);
+  void LoadBucket(uint64_t ring_idx);
+  bool PrepareFront();
+
+  void SetBit(uint64_t* bits, uint64_t i) { bits[i >> 6] |= 1ull << (i & 63); }
+  void ClearBit(uint64_t* bits, uint64_t i) { bits[i >> 6] &= ~(1ull << (i & 63)); }
+
+  // First set bit index in [from, kSlots), or -1.
+  static int NextSetBitFrom(const uint64_t* bits, uint64_t from);
+  // Smallest d in [1, kSlots) with bit ((start + d) & kSlotMask) set, or -1.
+  static int NextSetBitCyclicAfter(const uint64_t* bits, uint64_t start);
+
+  size_t size_ = 0;
+
+  // Scan cursor: every pending node in the rings is at slot >= cur_slot_.
+  // When prepared_, the chain at cur_slot_ has been moved into bucket_
+  // (sorted); bucket_dirty_ marks unsorted appendices from same-slot
+  // inserts that arrived after the sort.
+  uint64_t cur_slot_ = 0;
+  bool prepared_ = false;
+  bool bucket_dirty_ = false;
+  size_t bucket_pos_ = 0;
+  std::vector<EventNode*> bucket_;
+
+  EventNode* l0_[kSlots] = {};
+  EventNode* l1_[kSlots] = {};
+  uint64_t l0_bits_[kSlots / 64] = {};
+  uint64_t l1_bits_[kSlots / 64] = {};
+
+  std::vector<EventNode*> overflow_;
+  uint64_t overflow_min_page_ = kNoPage;
+};
+
+}  // namespace psd
+
+#endif  // PSD_SRC_SIM_TIMER_WHEEL_H_

@@ -1,5 +1,7 @@
 #include "src/testbed/world.h"
 
+#include "src/mbuf/mbuf.h"
+#include "src/netsim/frame_pool.h"
 #include "src/obs/stats.h"
 
 namespace psd {
@@ -141,6 +143,28 @@ void World::ExportStats(int i, StatsRegistry* reg) {
 void World::ExportWireStats(StatsRegistry* reg) {
   reg->RegisterGauge("wire.frames_carried", [this] { return wire_.frames_carried(); });
   reg->RegisterGauge("wire.frames_dropped", [this] { return wire_.frames_dropped(); });
+}
+
+void World::ExportEngineStats(StatsRegistry* reg) {
+  reg->RegisterGauge("engine.events_executed", [this] { return sim_.events_executed(); });
+  reg->RegisterGauge("engine.thread_switches", [this] { return sim_.thread_switches(); });
+  reg->RegisterGauge("engine.past_time_clamps", [this] { return sim_.past_time_clamps(); });
+  reg->RegisterGauge("engine.frame_pool.hits", [] { return FramePool::hits(); });
+  reg->RegisterGauge("engine.frame_pool.misses", [] { return FramePool::misses(); });
+  reg->RegisterGauge("engine.frame_pool.recycles", [] { return FramePool::recycles(); });
+  reg->RegisterGauge("engine.frame_pool.live", [] { return FramePool::live(); });
+  reg->RegisterGauge("engine.frame_pool.high_watermark", [] { return FramePool::high_watermark(); });
+  reg->RegisterGauge("engine.frame_pool.parked", [] { return FramePool::parked(); });
+  reg->RegisterGauge("engine.mbuf_pool.mbuf_hits", [] { return MbufPool::mbuf_hits(); });
+  reg->RegisterGauge("engine.mbuf_pool.mbuf_misses", [] { return MbufPool::mbuf_misses(); });
+  reg->RegisterGauge("engine.mbuf_pool.cluster_hits", [] { return MbufPool::cluster_hits(); });
+  reg->RegisterGauge("engine.mbuf_pool.cluster_misses", [] { return MbufPool::cluster_misses(); });
+  reg->RegisterGauge("engine.mbuf_pool.live_mbufs", [] { return MbufPool::live_mbufs(); });
+  reg->RegisterGauge("engine.mbuf_pool.mbuf_high_watermark",
+                     [] { return MbufPool::mbuf_high_watermark(); });
+  reg->RegisterGauge("engine.mbuf_pool.live_clusters", [] { return MbufPool::live_clusters(); });
+  reg->RegisterGauge("engine.mbuf_pool.cluster_high_watermark",
+                     [] { return MbufPool::cluster_high_watermark(); });
 }
 
 void World::AttachWirePcap(PcapCapture* pcap) { wire_.SetPcapTap(pcap); }

@@ -86,6 +86,13 @@ class World {
   // Registers segment-level counters ("wire.frames_carried" etc.).
   void ExportWireStats(StatsRegistry* reg);
 
+  // Registers engine-level gauges: scheduler counters
+  // ("engine.events_executed", "engine.thread_switches") and the
+  // frame/mbuf pool hit/miss/high-watermark counters ("engine.frame_pool.*",
+  // "engine.mbuf_pool.*"). Pools are process-wide, so register once per
+  // snapshot scope, not per host.
+  void ExportEngineStats(StatsRegistry* reg);
+
   // Attaches a pcap capture to the shared wire (every transmitted frame)
   // or to host `i`'s kernel delivery boundary (every frame handed to a
   // matched endpoint). The capture must outlive the World or be detached
