@@ -1,0 +1,322 @@
+// C10K scale-out workload (ISSUE 7): thousands of client hosts churning
+// short TCP connections against one server per placement.
+//
+// Topology: one server host in the placement under test faces --clients
+// (default 2048) plain in-kernel client hosts on the shared segment
+// (World's placement_hosts knob). Each client opens --conns connections in
+// sequence: connect, push a heavy-tailed flow (bounded Pareto, most flows a
+// few hundred bytes, a fat tail up to 32 KB), close, brief think time. The
+// server runs a single-threaded event loop on the scalable readiness
+// interface (PollCreate/PollAdd/PollWait): one listener registration, one
+// registration per live child, one Accept or Recv per delivered event —
+// level-triggered, the way an epoll server is written.
+//
+// Reported per placement:
+//   accepts_per_sec      — connections admitted / virtual storm duration
+//   connect_p99_ms       — 99th-percentile client connect latency (virtual;
+//                          includes SYN-queue overflow retries under storm)
+//   poll_edges / poll_wakeups / poll_waits
+//                        — readiness-edge fan-in vs. actual thread wakeups
+//                          (the PollSet counters; absent on library
+//                          placements, whose poll rides cooperative select)
+//   wakeup_cost_edges    — edges per wakeup: >1 means edges coalesced into
+//                          one wakeup, the cost the subsystem exists to cut
+//   wall_ns_per_pkt      — host ns per simulated wire frame
+//
+// Virtual quantities (frames, flow bytes, accepts) must be bit-identical
+// across --trials runs; divergence aborts the bench (wall-clock state must
+// never leak into simulation behavior). Emits BENCH_c10k.json (shared
+// schema).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/common/bench_json.h"
+#include "src/base/rng.h"
+#include "src/obs/journey.h"
+#include "src/testbed/world.h"
+
+namespace psd {
+namespace {
+
+struct C10kParams {
+  int clients = 2048;
+  int conns = 2;        // connections per client
+  int backlog = 128;    // server listen backlog (accept half)
+  size_t flow_min = 256;
+  size_t flow_cap = 32 * 1024;
+};
+
+struct C10kOutcome {
+  // Virtual quantities — must be identical across trials.
+  uint64_t accepts = 0;
+  uint64_t flows_completed = 0;
+  uint64_t flow_bytes = 0;
+  uint64_t frames = 0;
+  uint64_t events = 0;
+  SimTime storm_ns = 0;        // first connect attempt -> last flow served
+  SimTime virtual_end = 0;
+  uint64_t poll_edges = 0;
+  uint64_t poll_wakeups = 0;
+  uint64_t poll_waits = 0;
+  uint64_t listen_overflows = 0;
+  std::vector<SimDuration> connect_ns;  // per successful connect
+  // Host quantity.
+  double wall_ns = 0;
+};
+
+// Bounded Pareto flow size: alpha 1.2 keeps the mean near 4x the floor with
+// a tail that actually exercises windowed streaming on some connections.
+size_t FlowSize(Rng* rng, const C10kParams& p) {
+  double u = (static_cast<double>(rng->Next() >> 11) + 1.0) / 9007199254740993.0;
+  double size = static_cast<double>(p.flow_min) * std::pow(u, -1.0 / 1.2);
+  return std::min(p.flow_cap, static_cast<size_t>(size));
+}
+
+double Percentile(std::vector<SimDuration> v, double pct) {
+  if (v.empty()) {
+    return 0;
+  }
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(pct / 100.0 * static_cast<double>(v.size() - 1) + 0.5);
+  return static_cast<double>(v[std::min(idx, v.size() - 1)]);
+}
+
+C10kOutcome RunC10k(Config config, const MachineProfile& prof, const C10kParams& p,
+                    uint64_t seed) {
+  PacketJourney::Get().Reset();
+  DropLedger::Get().Reset();
+  C10kOutcome out;
+  auto t0 = std::chrono::steady_clock::now();
+  {
+    // Host 0 is the server in the placement under test; every client host
+    // runs the cheap in-kernel placement so the fleet scales.
+    World w(config, prof, /*hosts=*/1 + p.clients, /*pio_nic=*/false, /*placement_hosts=*/1);
+    w.SeedStaticArp();  // measure the churn, not O(clients^2) ARP bystanders
+    const uint64_t total_conns = static_cast<uint64_t>(p.clients) * p.conns;
+    SimTime first_connect = 0;
+    SimTime last_served = 0;
+    int server_pfd = -1;
+
+    w.SpawnApp(0, "c10k-server", [&] {
+      SocketApi* api = w.api(0);
+      int lfd = *api->CreateSocket(IpProto::kTcp);
+      api->Bind(lfd, SockAddrIn{Ipv4Addr::Any(), 5001});
+      api->SetOpt(lfd, SockOpt::kRcvBuf, 16 * 1024);
+      api->Listen(lfd, p.backlog);
+      int pfd = *api->PollCreate();
+      server_pfd = pfd;
+      api->PollAdd(pfd, lfd, kPollEventIn);
+      std::vector<PollEvent> events;
+      uint8_t buf[8192];
+      while (out.flows_completed < total_conns) {
+        Result<int> n = api->PollWait(pfd, &events, Seconds(150));
+        if (!n.ok() || *n == 0) {
+          break;  // storm over (or stuck): leave the loop to the watchdog
+        }
+        for (const PollEvent& ev : events) {
+          if (ev.fd == lfd) {
+            // One accept per delivered event; level-triggered reporting
+            // re-arms the listener while the accept queue stays non-empty.
+            Result<int> cfd = api->Accept(lfd, nullptr);
+            if (cfd.ok()) {
+              out.accepts++;
+              api->PollAdd(pfd, *cfd, kPollEventIn);
+            }
+            continue;
+          }
+          Result<size_t> got = api->Recv(ev.fd, buf, sizeof(buf), nullptr, false);
+          if (!got.ok() || *got == 0) {
+            api->Close(ev.fd);  // close drops the poll registration
+            out.flows_completed++;
+            last_served = w.sim().Now();
+          } else {
+            out.flow_bytes += *got;
+          }
+        }
+      }
+      api->Close(lfd);
+      // No PollClose: the set must outlive the loop so the bench can read
+      // its edge/wakeup counters; World teardown reclaims it.
+    });
+
+    for (int c = 0; c < p.clients; c++) {
+      w.SpawnApp(1 + c, "c" + std::to_string(c), [&, c] {
+        SocketApi* api = w.api(1 + c);
+        Rng rng = Rng::Stream(seed, static_cast<uint64_t>(c));
+        // Staggered arrival over ~2 s: a storm front, not a single spike
+        // the SYN queue could never honestly absorb.
+        w.sim().current_thread()->SleepFor(Millis(1 + static_cast<int64_t>(rng.Below(2000))));
+        std::vector<uint8_t> payload(p.flow_cap, 0x5a);
+        for (int k = 0; k < p.conns; k++) {
+          // Connect with retry, as a load generator does: the SYN half can
+          // refuse a storm front; the latency percentile keeps the retries.
+          SimTime t_conn = w.sim().Now();
+          if (first_connect == 0) {
+            first_connect = t_conn;
+          }
+          int fd = -1;
+          for (int attempt = 0; attempt < 5; attempt++) {
+            fd = *api->CreateSocket(IpProto::kTcp);
+            if (api->Connect(fd, SockAddrIn{w.addr(0), 5001}).ok()) {
+              break;
+            }
+            api->Close(fd);
+            fd = -1;
+            w.sim().current_thread()->SleepFor(
+                Millis(200 + static_cast<int64_t>(rng.Below(400u << attempt))));
+          }
+          if (fd < 0) {
+            continue;
+          }
+          out.connect_ns.push_back(w.sim().Now() - t_conn);
+          size_t flow = FlowSize(&rng, p);
+          size_t sent = 0;
+          while (sent < flow) {
+            Result<size_t> n = api->Send(fd, payload.data(), std::min(payload.size(), flow - sent));
+            if (!n.ok()) {
+              break;
+            }
+            sent += *n;
+          }
+          api->Close(fd);
+          w.sim().current_thread()->SleepFor(Millis(static_cast<int64_t>(rng.Below(50))));
+        }
+      });
+    }
+
+    w.sim().Run(Seconds(3600));
+    if (out.flows_completed < total_conns * 99 / 100) {
+      std::fprintf(stderr, "bench_c10k: %s storm incomplete (%llu/%llu flows)\n",
+                   ConfigName(config), static_cast<unsigned long long>(out.flows_completed),
+                   static_cast<unsigned long long>(total_conns));
+      std::exit(2);
+    }
+    out.storm_ns = last_served - first_connect;
+    out.frames = w.wire().frames_carried();
+    out.events = w.sim().events_executed();
+    out.virtual_end = w.sim().Now();
+    out.listen_overflows = DropLedger::Get().total(DropReason::kTcpListenOverflow);
+    // Readiness counters live in the placement's PollSet (library configs
+    // poll through cooperative select and have none).
+    PollSet* set = nullptr;
+    if (w.kernel_node(0) != nullptr) {
+      set = w.kernel_node(0)->poll_set(server_pfd);
+    } else if (w.ux_server(0) != nullptr) {
+      set = w.ux_server(0)->poll_set(static_cast<uint64_t>(server_pfd));
+    }
+    if (set != nullptr) {
+      out.poll_edges = set->edges();
+      out.poll_wakeups = set->wakeups();
+      out.poll_waits = set->wait_blocks();
+    }
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  out.wall_ns =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+  return out;
+}
+
+Config kConfigs[] = {Config::kInKernel, Config::kServer, Config::kLibraryIpc,
+                     Config::kLibraryShm, Config::kLibraryShmIpf};
+
+}  // namespace
+}  // namespace psd
+
+int main(int argc, char** argv) {
+  using namespace psd;
+  C10kParams p;
+  int trials = 1;
+  uint64_t seed = 1993;
+  for (int i = 1; i < argc; i++) {
+    if (std::strncmp(argv[i], "--clients=", 10) == 0) {
+      p.clients = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--conns=", 8) == 0) {
+      p.conns = std::atoi(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--trials=", 9) == 0) {
+      trials = std::atoi(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = static_cast<uint64_t>(std::atoll(argv[i] + 7));
+    } else {
+      std::fprintf(stderr, "usage: %s [--clients=N] [--conns=N] [--trials=N] [--seed=N]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+  if (p.clients < 1 || p.conns < 1 || trials < 1) {
+    std::fprintf(stderr, "bench_c10k: bad parameters\n");
+    return 1;
+  }
+  MachineProfile prof = MachineProfile::DecStation5000();
+  std::printf("-- C10K churn bench (%d clients x %d conns, profile %s, %d trial%s) --\n",
+              p.clients, p.conns, prof.name.c_str(), trials, trials == 1 ? "" : "s");
+
+  BenchJson out("c10k", prof.name);
+  out.summary().Set("clients", p.clients);
+  out.summary().Set("conns_per_client", p.conns);
+  out.summary().Set("backlog", p.backlog);
+  out.summary().Set("seed", seed);
+
+  for (Config config : kConfigs) {
+    C10kOutcome ref;
+    double min_wall = 0;
+    for (int t = 0; t < trials; t++) {
+      C10kOutcome r = RunC10k(config, prof, p, seed);
+      if (t == 0) {
+        ref = r;
+        min_wall = r.wall_ns;
+      } else {
+        if (r.frames != ref.frames || r.events != ref.events || r.accepts != ref.accepts ||
+            r.flow_bytes != ref.flow_bytes || r.virtual_end != ref.virtual_end) {
+          std::fprintf(stderr, "bench_c10k: %s trial %d diverged — wall-clock state leaked\n",
+                       ConfigName(config), t);
+          return 3;
+        }
+        min_wall = std::min(min_wall, r.wall_ns);
+      }
+    }
+    double storm_s = static_cast<double>(ref.storm_ns) * 1e-9;
+    double accepts_per_sec = storm_s > 0 ? static_cast<double>(ref.accepts) / storm_s : 0;
+    double p50 = Percentile(ref.connect_ns, 50) / 1e6;
+    double p99 = Percentile(ref.connect_ns, 99) / 1e6;
+    double wall_ns_per_pkt = min_wall / static_cast<double>(ref.frames);
+    double edges_per_wakeup = ref.poll_wakeups > 0
+                                  ? static_cast<double>(ref.poll_edges) /
+                                        static_cast<double>(ref.poll_wakeups)
+                                  : 0;
+    std::printf(
+        "%-15s %7llu accepts %9.0f acc/s  connect p50 %7.2f ms p99 %8.2f ms  %8llu frames  "
+        "%6llu edges %6llu wakeups  %7.1f ns/pkt\n",
+        ConfigName(config), static_cast<unsigned long long>(ref.accepts), accepts_per_sec, p50,
+        p99, static_cast<unsigned long long>(ref.frames),
+        static_cast<unsigned long long>(ref.poll_edges),
+        static_cast<unsigned long long>(ref.poll_wakeups), wall_ns_per_pkt);
+
+    BenchJson::Obj& row = out.AddResult();
+    row.Set("placement", ConfigName(config));
+    row.Set("accepts", ref.accepts);
+    row.Set("accepts_per_sec", accepts_per_sec);
+    row.Set("flows_completed", ref.flows_completed);
+    row.Set("flow_bytes", ref.flow_bytes);
+    row.Set("connect_p50_ms", p50);
+    row.Set("connect_p99_ms", p99);
+    row.Set("listen_overflows", ref.listen_overflows);
+    row.Set("poll_edges", ref.poll_edges);
+    row.Set("poll_wakeups", ref.poll_wakeups);
+    row.Set("poll_waits", ref.poll_waits);
+    row.Set("wakeup_cost_edges", edges_per_wakeup);
+    row.Set("frames", ref.frames);
+    row.Set("events", ref.events);
+    row.Set("storm_virtual_s", storm_s);
+    row.Set("virtual_end_ms", static_cast<double>(ref.virtual_end) / 1e6);
+    row.Set("wall_ns", min_wall);
+    row.Set("wall_ns_per_pkt", wall_ns_per_pkt);
+  }
+  out.WriteFile();
+  return 0;
+}

@@ -18,7 +18,7 @@ KernelNode::KernelNode(SimHost* host) : host_(host) {
   params.sync_pair_cost = host->prof()->sync_spl_hw;
   params.name = host->name() + "/kstack";
   stack_ = std::make_unique<Stack>(params);
-  stack_->routes().Add(Ipv4Addr(host->ip().v & 0xffffff00), Ipv4Addr(0xffffff00),
+  stack_->routes().Add(Ipv4Addr(host->ip().v & 0xffff0000), Ipv4Addr(0xffff0000),
                        Ipv4Addr::Any());
 
   rxq_ = kernel->MakeQueueEndpoint(host->name() + "/netisr", 0);
@@ -203,6 +203,71 @@ Result<int> KernelNode::Select(SelectFds* fds, SimDuration timeout) {
   }
   host_->sim()->current_thread()->Charge(host_->prof()->trap);
   return SelectSockets(stack_.get(), rd, wr, timeout, &fds->read_ready, &fds->write_ready);
+}
+
+PollSet* KernelNode::poll_set(int pfd) {
+  auto it = polls_.find(pfd);
+  return it == polls_.end() ? nullptr : it->second.get();
+}
+
+Result<int> KernelNode::PollCreate() {
+  host_->sim()->current_thread()->Charge(host_->prof()->trap);
+  int pfd = next_fd_++;
+  polls_[pfd] = std::make_unique<PollSet>(stack_.get());
+  return pfd;
+}
+
+Result<void> KernelNode::PollAdd(int pfd, int fd, uint32_t events) {
+  PollSet* set = poll_set(pfd);
+  if (set == nullptr) {
+    return Err::kBadF;
+  }
+  Result<Socket*> s = Lookup(fd);
+  if (!s.ok()) {
+    return s.error();
+  }
+  host_->sim()->current_thread()->Charge(host_->prof()->trap);
+  return set->Add(*s, events, static_cast<uint64_t>(fd));
+}
+
+Result<void> KernelNode::PollRemove(int pfd, int fd) {
+  PollSet* set = poll_set(pfd);
+  if (set == nullptr) {
+    return Err::kBadF;
+  }
+  Result<Socket*> s = Lookup(fd);
+  if (!s.ok()) {
+    return s.error();
+  }
+  host_->sim()->current_thread()->Charge(host_->prof()->trap);
+  return set->Remove(*s);
+}
+
+Result<int> KernelNode::PollWait(int pfd, std::vector<PollEvent>* out, SimDuration timeout) {
+  PollSet* set = poll_set(pfd);
+  if (set == nullptr) {
+    return Err::kBadF;
+  }
+  // One trap in, one out: the wait itself blocks inside the kernel.
+  host_->sim()->current_thread()->Charge(host_->prof()->trap);
+  std::vector<PollReady> ready;
+  int n = set->Wait(&ready, timeout);
+  out->clear();
+  for (const PollReady& r : ready) {
+    out->push_back(PollEvent{static_cast<int>(r.data), r.events});
+  }
+  host_->sim()->current_thread()->Charge(host_->prof()->trap);
+  return n;
+}
+
+Result<void> KernelNode::PollClose(int pfd) {
+  auto it = polls_.find(pfd);
+  if (it == polls_.end()) {
+    return Err::kBadF;
+  }
+  host_->sim()->current_thread()->Charge(host_->prof()->trap);
+  polls_.erase(it);
+  return OkResult();
 }
 
 SockAddrIn KernelNode::LocalAddr(int fd) {

@@ -10,6 +10,7 @@
 
 #include "src/api/socket_api.h"
 #include "src/kern/host.h"
+#include "src/sock/pollset.h"
 #include "src/sock/select.h"
 #include "src/sock/socket.h"
 
@@ -34,7 +35,16 @@ class KernelNode : public SocketApi {
   Result<void> Shutdown(int fd, bool rd, bool wr) override;
   Result<void> Close(int fd) override;
   Result<int> Select(SelectFds* fds, SimDuration timeout) override;
+  Result<int> PollCreate() override;
+  Result<void> PollAdd(int pfd, int fd, uint32_t events) override;
+  Result<void> PollRemove(int pfd, int fd) override;
+  Result<int> PollWait(int pfd, std::vector<PollEvent>* out, SimDuration timeout) override;
+  Result<void> PollClose(int pfd) override;
   SockAddrIn LocalAddr(int fd) override;
+
+  // The in-kernel PollSet behind poll descriptor `pfd` (nullptr if
+  // unknown); tests and benches read its edge/wakeup counters.
+  PollSet* poll_set(int pfd);
 
   Stack* stack() { return stack_.get(); }
   SimHost* host() { return host_; }
@@ -54,6 +64,9 @@ class KernelNode : public SocketApi {
   PacketQueue* rxq_ = nullptr;
   SimThread* input_thread_ = nullptr;
   std::map<int, std::unique_ptr<Socket>> fds_;
+  // Poll descriptors share the fd number space but live in their own
+  // table (a pfd is not a socket).
+  std::map<int, std::unique_ptr<PollSet>> polls_;
   int next_fd_ = 3;
 };
 

@@ -35,6 +35,17 @@ struct SelectFds {
   std::vector<bool> write_ready;
 };
 
+// Event bits for the scalable readiness interface (PollAdd/PollWait).
+// Mirrors src/sock/pollset.h: kPollErr is reported even when unrequested.
+constexpr uint32_t kPollEventIn = 0x1;
+constexpr uint32_t kPollEventOut = 0x2;
+constexpr uint32_t kPollEventErr = 0x4;
+
+struct PollEvent {
+  int fd = -1;
+  uint32_t events = 0;
+};
+
 class SocketApi {
  public:
   virtual ~SocketApi() = default;
@@ -64,6 +75,18 @@ class SocketApi {
   // Blocks until any tested descriptor is ready or `timeout` elapses
   // (negative timeout: wait forever). Returns the number of ready fds.
   virtual Result<int> Select(SelectFds* fds, SimDuration timeout) = 0;
+
+  // --- Scalable readiness (epoll-style interest sets) ---
+  // A poll descriptor names a persistent interest set; sockets push
+  // readiness edges into it, so PollWait wakes in O(ready) instead of
+  // re-scanning the whole set the way Select does. Level-triggered.
+  virtual Result<int> PollCreate() = 0;
+  virtual Result<void> PollAdd(int pfd, int fd, uint32_t events) = 0;
+  virtual Result<void> PollRemove(int pfd, int fd) = 0;
+  // Appends ready descriptors to *out (cleared first). timeout == 0 polls,
+  // < 0 waits forever. Returns the number of events delivered.
+  virtual Result<int> PollWait(int pfd, std::vector<PollEvent>* out, SimDuration timeout) = 0;
+  virtual Result<void> PollClose(int pfd) = 0;
 
   virtual SockAddrIn LocalAddr(int fd) = 0;
 };

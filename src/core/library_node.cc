@@ -709,6 +709,92 @@ Result<int> LibraryNode::Select(SelectFds* fds, SimDuration timeout) {
   return total;
 }
 
+Result<int> LibraryNode::PollCreate() {
+  int pfd = next_fd_++;
+  polls_[pfd];
+  return pfd;
+}
+
+Result<void> LibraryNode::PollAdd(int pfd, int fd, uint32_t events) {
+  auto it = polls_.find(pfd);
+  if (it == polls_.end()) {
+    return Err::kBadF;
+  }
+  Result<Desc*> dr = Lookup(fd);
+  if (!dr.ok()) {
+    return dr.error();
+  }
+  it->second[fd] = events;
+  return OkResult();
+}
+
+Result<void> LibraryNode::PollRemove(int pfd, int fd) {
+  auto it = polls_.find(pfd);
+  if (it == polls_.end()) {
+    return Err::kBadF;
+  }
+  if (it->second.erase(fd) == 0) {
+    return Err::kBadF;
+  }
+  return OkResult();
+}
+
+Result<int> LibraryNode::PollWait(int pfd, std::vector<PollEvent>* out, SimDuration timeout) {
+  auto it = polls_.find(pfd);
+  if (it == polls_.end()) {
+    return Err::kBadF;
+  }
+  out->clear();
+  // Materialize the persistent interest map into one cooperative select:
+  // descriptors that vanished since PollAdd are skipped (epoll's implicit
+  // deregistration on close).
+  SelectFds fds;
+  std::vector<std::pair<int, uint32_t>> members;
+  for (const auto& [fd, mask] : it->second) {
+    if (!Lookup(fd).ok()) {
+      continue;
+    }
+    members.emplace_back(fd, mask);
+    if ((mask & kPollEventIn) != 0) {
+      fds.read.push_back(fd);
+    }
+    if ((mask & kPollEventOut) != 0) {
+      fds.write.push_back(fd);
+    }
+  }
+  Result<int> n = Select(&fds, timeout);
+  if (!n.ok()) {
+    return n.error();
+  }
+  size_t ri = 0, wi = 0;
+  for (const auto& [fd, mask] : members) {
+    uint32_t ev = 0;
+    if ((mask & kPollEventIn) != 0) {
+      if (ri < fds.read_ready.size() && fds.read_ready[ri]) {
+        ev |= kPollEventIn;
+      }
+      ri++;
+    }
+    if ((mask & kPollEventOut) != 0) {
+      if (wi < fds.write_ready.size() && fds.write_ready[wi]) {
+        ev |= kPollEventOut;
+      }
+      wi++;
+    }
+    if (ev != 0) {
+      out->push_back(PollEvent{fd, ev});
+    }
+  }
+  return static_cast<int>(out->size());
+}
+
+Result<void> LibraryNode::PollClose(int pfd) {
+  if (polls_.erase(pfd) == 0) {
+    return Err::kBadF;
+  }
+  return OkResult();
+}
+
 SockAddrIn LibraryNode::LocalAddr(int fd) {
   Result<Desc*> dr = Lookup(fd);
   if (!dr.ok()) {

@@ -123,6 +123,17 @@ class LibraryNode : public SocketApi {
   Result<void> Shutdown(int fd, bool rd, bool wr) override;
   Result<void> Close(int fd) override;
   Result<int> Select(SelectFds* fds, SimDuration timeout) override;
+  // Poll descriptors in the library placement keep a persistent interest
+  // map and drive the cooperative select machinery on each wait: app-
+  // managed sockets hook their readiness callbacks, server-managed
+  // sessions ride the blocking proxy_select. The O(ready) push-edge path
+  // materializes in the kernel and UX-server placements, which own real
+  // PollSets; here the win is the persistent registration.
+  Result<int> PollCreate() override;
+  Result<void> PollAdd(int pfd, int fd, uint32_t events) override;
+  Result<void> PollRemove(int pfd, int fd) override;
+  Result<int> PollWait(int pfd, std::vector<PollEvent>* out, SimDuration timeout) override;
+  Result<void> PollClose(int pfd) override;
   SockAddrIn LocalAddr(int fd) override;
 
   // --- fork support (paper §3.1, Table 1: "All sessions should be
@@ -153,6 +164,9 @@ class LibraryNode : public SocketApi {
 
   ProtocolLibrary* lib_;
   std::map<int, Desc> fds_;
+  // Poll descriptors share the fd number space; each maps member fd ->
+  // requested event mask.
+  std::map<int, std::map<int, uint32_t>> polls_;
   int next_fd_ = 3;
   uint64_t select_seq_ = 1;
 };

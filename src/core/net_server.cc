@@ -33,7 +33,7 @@ NetServer::NetServer(SimHost* host, int workers)
   params.sync_pair_cost = host->prof()->sync_spl_emulated;
   params.name = host->name() + "/ns";
   stack_ = std::make_unique<Stack>(params);
-  stack_->routes().Add(Ipv4Addr(host->ip().v & 0xffffff00), Ipv4Addr(0xffffff00),
+  stack_->routes().Add(Ipv4Addr(host->ip().v & 0xffff0000), Ipv4Addr(0xffff0000),
                        Ipv4Addr::Any());
 
   // Strays for tuples in application hands are dropped, not RST.

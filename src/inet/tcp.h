@@ -40,6 +40,15 @@ constexpr uint16_t kTcpDefaultMss = 536;
 constexpr uint16_t kTcpEtherMss = 1460;  // MTU 1500 - 40
 constexpr uint32_t kTcpMaxWin = 65535;
 
+// Connection-establishment timeout: how long a handshake (SYN_SENT, or an
+// embryonic SYN_RCVD child holding a listener slot) may sit unfinished
+// before it is dropped, in 500 ms slow-timer ticks. BSD's TCPTV_KEEP_INIT,
+// 75 s. Expiry on an embryonic child must release its SYN-half slot.
+constexpr int kTcpConnEstablishTicks = 150;
+// Keepalive probe interval once SO_KEEPALIVE kicks in (TCPTV_KEEPINTVL-ish):
+// 75 s between probes, ~8 unanswered probes before giving up.
+constexpr int kTcpKeepIntvlTicks = 150;
+
 enum class TcpState : uint8_t {
   kClosed = 0,
   kListen,
@@ -141,11 +150,15 @@ struct TcpPcb {
   // Listener hook: fired when a child connection becomes acceptable.
   std::function<void()> accept_wakeup;
 
-  // Listen bookkeeping.
+  // Listen bookkeeping. The queue is split per BSD/syncache convention:
+  // the SYN half (embryonic children mid-handshake) is bounded by
+  // syn_backlog, the accept half (established, waiting for accept()) by
+  // backlog. Each half is ledgered separately as kTcpListenOverflow.
   TcpPcb* parent = nullptr;
   std::deque<TcpPcb*> accept_ready;
-  int backlog = 0;
-  int embryonic = 0;  // children in SYN_RCVD
+  int backlog = 0;      // accept-half bound (completed connections)
+  int syn_backlog = 0;  // SYN-half bound (embryonic children)
+  int embryonic = 0;    // children in SYN_RCVD
 
   uint64_t id = 0;  // diagnostics
 
@@ -285,6 +298,10 @@ class TcpLayer {
   void DropConnection(TcpPcb* pcb, Err why);  // abort with error to user
   void CloseDone(TcpPcb* pcb);                // -> CLOSED, notify
   void CancelTimers(TcpPcb* pcb);
+  // Unlinks a child from its listener, releasing whichever queue slot it
+  // holds (SYN half while still in SYN_RCVD, accept half otherwise). The
+  // single place parent->embryonic is decremented on a death path.
+  void DetachFromParent(TcpPcb* pcb);
 
   void RexmtTimeout(TcpPcb* pcb);
   void PersistTimeout(TcpPcb* pcb);

@@ -200,9 +200,11 @@ void TcpLayer::Input(Chain seg, Ipv4Addr src, Ipv4Addr dst) {
       drop(DropReason::kTcpUnacceptable);
       return;
     }
-    if (pcb->embryonic + static_cast<int>(pcb->accept_ready.size()) >= pcb->backlog) {
+    if (pcb->embryonic >= pcb->syn_backlog) {
+      // SYN half full: drop the SYN, let the peer retry. The accept half
+      // is policed separately at handshake completion below.
       drop(DropReason::kTcpListenOverflow);
-      return;  // queue full: drop the SYN, let the peer retry
+      return;
     }
     TcpPcb* child = Create();
     child->parent = pcb;
@@ -216,7 +218,11 @@ void TcpLayer::Input(Chain seg, Ipv4Addr src, Ipv4Addr dst) {
     child->keepalive = pcb->keepalive;
     auto route = ip_->routes()->Lookup(remote.addr);
     uint16_t route_mss = (route && route->gateway.IsAny()) ? kTcpEtherMss : kTcpDefaultMss;
-    child->t_maxseg = opt_mss != 0 ? std::min(opt_mss, route_mss) : kTcpDefaultMss;
+    // A peer that omits the MSS option still gets route-sized segments
+    // (on-link peers take full Ethernet frames), matching the active-open
+    // path: Connect sets the route MSS and the clamp below only runs when
+    // the option is present.
+    child->t_maxseg = opt_mss != 0 ? std::min(opt_mss, route_mss) : route_mss;
     child->snd_cwnd = child->t_maxseg;
     child->irs = seq;
     child->rcv_nxt = seq + 1;
@@ -229,7 +235,7 @@ void TcpLayer::Input(Chain seg, Ipv4Addr src, Ipv4Addr dst) {
     child->snd_wl1 = seq;
     child->snd_wl2 = child->iss;
     child->state = TcpState::kSynRcvd;
-    child->t_timer[TcpPcb::kTimerKeep] = 150;
+    child->t_timer[TcpPcb::kTimerKeep] = kTcpConnEstablishTicks;
     Output(child);
     return;
   }
@@ -363,9 +369,8 @@ void TcpLayer::Input(Chain seg, Ipv4Addr src, Ipv4Addr dst) {
     if (flags & kTcpRst) {
       switch (pcb->state) {
         case TcpState::kSynRcvd:
-          if (pcb->parent != nullptr) {
-            pcb->parent->embryonic--;
-          }
+          // DropConnection releases the listener's SYN-half slot via
+          // DetachFromParent.
           DropConnection(pcb, Err::kConnRefused);
           break;
         case TcpState::kEstablished:
@@ -403,6 +408,15 @@ void TcpLayer::Input(Chain seg, Ipv4Addr src, Ipv4Addr dst) {
       if (SeqGt(pcb->snd_una, ack) || SeqGt(ack, pcb->snd_max)) {
         drop(DropReason::kTcpUnacceptable);
         drop_with_reset();
+        return;
+      }
+      if (pcb->parent != nullptr &&
+          static_cast<int>(pcb->parent->accept_ready.size()) >= pcb->parent->backlog) {
+        // Accept half full: refuse the promotion and stay embryonic. The
+        // peer's retransmitted ACK (or first data segment) retries once
+        // accept() has drained the queue; the establishment timer reaps
+        // the child if it never does.
+        drop(DropReason::kTcpListenOverflow);
         return;
       }
       pcb->state = TcpState::kEstablished;

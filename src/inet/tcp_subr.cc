@@ -55,10 +55,9 @@ void TcpLayer::Destroy(TcpPcb* pcb) {
     Abort(pcb);
   }
   // Unlink from a listener's queues if this was an embryonic/ready child.
-  if (pcb->parent != nullptr) {
-    auto& q = pcb->parent->accept_ready;
-    q.erase(std::remove(q.begin(), q.end(), pcb), q.end());
-  }
+  // (Abort above already detached live children via DropConnection; this
+  // catches corpses that died while queued.)
+  DetachFromParent(pcb);
   // Orphan children of a dying listener.
   for (const auto& p : pcbs_) {
     if (p->parent == pcb) {
@@ -121,6 +120,10 @@ Result<void> TcpLayer::Listen(TcpPcb* pcb, int backlog) {
   }
   pcb->state = TcpState::kListen;
   pcb->backlog = std::max(1, backlog);
+  // SYN half gets headroom over the accept half (BSD listen(2) grants
+  // backlog * 3 / 2) so a burst of handshakes in flight doesn't starve
+  // admission while completed connections drain through accept().
+  pcb->syn_backlog = std::max(1, pcb->backlog * 3 / 2);
   return OkResult();
 }
 
@@ -152,7 +155,7 @@ Result<void> TcpLayer::Connect(TcpPcb* pcb, SockAddrIn remote) {
   auto route = ip_->routes()->Lookup(remote.addr);
   pcb->t_maxseg = (route && route->gateway.IsAny()) ? kTcpEtherMss : kTcpDefaultMss;
   pcb->snd_cwnd = pcb->t_maxseg;
-  pcb->t_timer[TcpPcb::kTimerKeep] = 150;  // 75 s connection-establishment timer
+  pcb->t_timer[TcpPcb::kTimerKeep] = kTcpConnEstablishTicks;
   return Output(pcb);
 }
 
@@ -236,6 +239,14 @@ void TcpLayer::DropConnection(TcpPcb* pcb, Err why) {
     return;
   }
   bool was_alive = pcb->state != TcpState::kListen;
+  // An unaccepted child dying on any path (RST, establishment timeout,
+  // abort) must give its listener slot back, and has no socket to reap it:
+  // mark it for the slow-timer sweep. Must run before the state changes —
+  // DetachFromParent reads it to pick the queue half.
+  if (pcb->parent != nullptr) {
+    DetachFromParent(pcb);
+    pcb->detached = true;
+  }
   pcb->so_error = why;
   CancelTimers(pcb);
   pcb->state = TcpState::kClosed;
@@ -264,6 +275,22 @@ void TcpLayer::CloseDone(TcpPcb* pcb) {
   if (pcb->state_wakeup) {
     pcb->state_wakeup();
   }
+}
+
+void TcpLayer::DetachFromParent(TcpPcb* pcb) {
+  TcpPcb* parent = pcb->parent;
+  if (parent == nullptr) {
+    return;
+  }
+  // A child still mid-handshake occupies a SYN-half slot; release it
+  // exactly once, here, whatever killed the connection. Children past
+  // SYN_RCVD already moved their accounting to the accept half.
+  if (pcb->state == TcpState::kSynRcvd) {
+    parent->embryonic--;
+  }
+  auto& q = parent->accept_ready;
+  q.erase(std::remove(q.begin(), q.end(), pcb), q.end());
+  pcb->parent = nullptr;
 }
 
 void TcpLayer::CancelTimers(TcpPcb* pcb) {

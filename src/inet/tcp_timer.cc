@@ -128,14 +128,14 @@ void TcpLayer::KeepTimeout(TcpPcb* pcb) {
   if (pcb->keepalive && pcb->state == TcpState::kEstablished) {
     // Give up after ~8 unanswered probes past the idle threshold
     // (t_idle resets on any segment from the peer).
-    if (pcb->t_idle >= 14400 + 8 * 150) {
+    if (pcb->t_idle >= 14400 + 8 * kTcpKeepIntvlTicks) {
       DropConnection(pcb, Err::kTimedOut);
       return;
     }
     stats_.keepalive_probes++;
     // Probe: an ACK for old data forces a response.
     Respond(pcb, pcb->local, pcb->remote, pcb->snd_una - 1, pcb->rcv_nxt, kTcpAck);
-    pcb->t_timer[TcpPcb::kTimerKeep] = 150;  // probe interval: 75 s
+    pcb->t_timer[TcpPcb::kTimerKeep] = kTcpKeepIntvlTicks;
   } else if (pcb->keepalive) {
     DropConnection(pcb, Err::kTimedOut);
   }

@@ -43,7 +43,7 @@ UxServer::UxServer(SimHost* host, int workers)
   params.sync_pair_cost = host->prof()->sync_spl_emulated;
   params.name = host->name() + "/ux";
   stack_ = std::make_unique<Stack>(params);
-  stack_->routes().Add(Ipv4Addr(host->ip().v & 0xffffff00), Ipv4Addr(0xffffff00),
+  stack_->routes().Add(Ipv4Addr(host->ip().v & 0xffff0000), Ipv4Addr(0xffff0000),
                        Ipv4Addr::Any());
 
   kernel->InstallFilter(CompileCatchAllFilter(), /*priority=*/0,
@@ -105,6 +105,11 @@ Result<Socket*> UxServer::Lookup(uint64_t id) {
   return it->second.get();
 }
 
+PollSet* UxServer::poll_set(uint64_t id) {
+  auto it = polls_.find(id);
+  return it == polls_.end() ? nullptr : it->second.get();
+}
+
 namespace {
 const char* ServOpName(ServOp op) {
   switch (op) {
@@ -134,6 +139,16 @@ const char* ServOpName(ServOp op) {
       return "ux/select";
     case ServOp::kLocalAddr:
       return "ux/localaddr";
+    case ServOp::kPollCreate:
+      return "ux/poll_create";
+    case ServOp::kPollAdd:
+      return "ux/poll_add";
+    case ServOp::kPollRemove:
+      return "ux/poll_remove";
+    case ServOp::kPollWait:
+      return "ux/poll_wait";
+    case ServOp::kPollClose:
+      return "ux/poll_close";
   }
   return "ux/?";
 }
@@ -305,6 +320,62 @@ IpcMessage UxServer::Handle(const IpcMessage& req) {
       Encoder e;
       PutAddr(&e, (*s)->local_addr());
       reply.payload = e.Take();
+      return reply;
+    }
+    case ServOp::kPollCreate: {
+      uint64_t pid = next_id_++;
+      polls_[pid] = std::make_unique<PollSet>(stack_.get());
+      reply.arg[1] = pid;
+      return reply;
+    }
+    case ServOp::kPollAdd: {
+      PollSet* set = poll_set(id);
+      if (set == nullptr) {
+        return fail(Err::kBadF);
+      }
+      Result<Socket*> s = Lookup(req.arg[2]);
+      if (!s.ok()) {
+        return fail(s.error());
+      }
+      Result<void> r = set->Add(*s, static_cast<uint32_t>(req.arg[3]), req.arg[2]);
+      return r.ok() ? reply : fail(r.error());
+    }
+    case ServOp::kPollRemove: {
+      PollSet* set = poll_set(id);
+      if (set == nullptr) {
+        return fail(Err::kBadF);
+      }
+      Result<Socket*> s = Lookup(req.arg[2]);
+      if (!s.ok()) {
+        return fail(s.error());
+      }
+      Result<void> r = set->Remove(*s);
+      return r.ok() ? reply : fail(r.error());
+    }
+    case ServOp::kPollWait: {
+      PollSet* set = poll_set(id);
+      if (set == nullptr) {
+        return fail(Err::kBadF);
+      }
+      // Parks this worker until an edge lands; the reply message is the
+      // placement's readiness notification path back to the client.
+      std::vector<PollReady> ready;
+      int n = set->Wait(&ready, static_cast<int64_t>(req.arg[2]));
+      Encoder e;
+      e.U32(static_cast<uint32_t>(n));
+      for (const PollReady& r : ready) {
+        e.U64(r.data);
+        e.U32(r.events);
+      }
+      reply.payload = e.Take();
+      return reply;
+    }
+    case ServOp::kPollClose: {
+      auto it = polls_.find(id);
+      if (it == polls_.end()) {
+        return fail(Err::kBadF);
+      }
+      polls_.erase(it);
       return reply;
     }
   }
@@ -495,6 +566,54 @@ Result<int> UxServerNode::Select(SelectFds* fds, SimDuration timeout) {
     fds->write_ready[i] = d.U8() != 0;
   }
   return n;
+}
+
+Result<int> UxServerNode::PollCreate() {
+  IpcMessage rep = Call(ServOp::kPollCreate, 0);
+  if (rep.arg[0] != 0) {
+    return static_cast<Err>(rep.arg[0]);
+  }
+  return static_cast<int>(rep.arg[1]);
+}
+
+Result<void> UxServerNode::PollAdd(int pfd, int fd, uint32_t events) {
+  IpcMessage rep = Call(ServOp::kPollAdd, pfd, {}, static_cast<uint64_t>(fd), events);
+  if (rep.arg[0] != 0) {
+    return static_cast<Err>(rep.arg[0]);
+  }
+  return OkResult();
+}
+
+Result<void> UxServerNode::PollRemove(int pfd, int fd) {
+  IpcMessage rep = Call(ServOp::kPollRemove, pfd, {}, static_cast<uint64_t>(fd));
+  if (rep.arg[0] != 0) {
+    return static_cast<Err>(rep.arg[0]);
+  }
+  return OkResult();
+}
+
+Result<int> UxServerNode::PollWait(int pfd, std::vector<PollEvent>* out, SimDuration timeout) {
+  IpcMessage rep = Call(ServOp::kPollWait, pfd, {}, static_cast<uint64_t>(timeout));
+  if (rep.arg[0] != 0) {
+    return static_cast<Err>(rep.arg[0]);
+  }
+  Decoder d(rep.payload);
+  int n = static_cast<int>(d.U32());
+  out->clear();
+  for (int i = 0; i < n; i++) {
+    uint64_t sid = d.U64();
+    uint32_t ev = d.U32();
+    out->push_back(PollEvent{static_cast<int>(sid), ev});
+  }
+  return n;
+}
+
+Result<void> UxServerNode::PollClose(int pfd) {
+  IpcMessage rep = Call(ServOp::kPollClose, pfd);
+  if (rep.arg[0] != 0) {
+    return static_cast<Err>(rep.arg[0]);
+  }
+  return OkResult();
 }
 
 SockAddrIn UxServerNode::LocalAddr(int fd) {

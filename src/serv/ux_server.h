@@ -15,6 +15,7 @@
 #include "src/api/socket_api.h"
 #include "src/ipc/port.h"
 #include "src/kern/host.h"
+#include "src/sock/pollset.h"
 #include "src/sock/select.h"
 #include "src/sock/socket.h"
 
@@ -35,6 +36,11 @@ enum class ServOp : uint32_t {
   kClose,
   kSelect,
   kLocalAddr,
+  kPollCreate,
+  kPollAdd,
+  kPollRemove,
+  kPollWait,
+  kPollClose,
 };
 
 class UxServer {
@@ -48,6 +54,10 @@ class UxServer {
   Port* request_port() { return &request_port_; }
   Stack* stack() { return stack_.get(); }
   SimHost* host() { return host_; }
+
+  // The server-side PollSet behind poll descriptor `id` (nullptr if
+  // unknown); tests and benches read its edge/wakeup counters.
+  PollSet* poll_set(uint64_t id);
 
   // Attaches the observability tracer to the server stack, host kernel,
   // ports, and the RPC dispatch loop. May be null.
@@ -66,6 +76,9 @@ class UxServer {
   Port packet_port_;
   std::vector<SimThread*> threads_;
   std::map<uint64_t, std::unique_ptr<Socket>> socks_;
+  // Poll descriptors share the id space with sockets but live in their
+  // own table; a PollWait request parks the worker that handles it.
+  std::map<uint64_t, std::unique_ptr<PollSet>> polls_;
   uint64_t next_id_ = 1;
 };
 
@@ -89,6 +102,11 @@ class UxServerNode : public SocketApi {
   Result<void> Shutdown(int fd, bool rd, bool wr) override;
   Result<void> Close(int fd) override;
   Result<int> Select(SelectFds* fds, SimDuration timeout) override;
+  Result<int> PollCreate() override;
+  Result<void> PollAdd(int pfd, int fd, uint32_t events) override;
+  Result<void> PollRemove(int pfd, int fd) override;
+  Result<int> PollWait(int pfd, std::vector<PollEvent>* out, SimDuration timeout) override;
+  Result<void> PollClose(int pfd) override;
   SockAddrIn LocalAddr(int fd) override;
 
  private:

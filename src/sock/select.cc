@@ -1,84 +1,74 @@
 #include "src/sock/select.h"
 
+#include <unordered_map>
+
+#include "src/sock/pollset.h"
+
 namespace psd {
 
+// Compatibility layer: one transient PollSet per call. Registration is the
+// only per-fd work (O(n log n) total, replacing the old O(n^2) duplicate
+// scan); every wakeup after that harvests just the sockets whose edges
+// fired instead of re-polling the whole interest set.
 int SelectSockets(Stack* stack, const std::vector<Socket*>& rd, const std::vector<Socket*>& wr,
                   SimDuration timeout, std::vector<bool>* rd_ready, std::vector<bool>* wr_ready,
                   SimCondition* extra_wake_cv, bool* extra_wake_flag) {
-  DomainLock lock(stack->sync());
-  Simulator* sim = stack->env()->sim;
-  SimCondition cv(sim);
+  rd_ready->assign(rd.size(), false);
+  wr_ready->assign(wr.size(), false);
 
-  auto compute = [&]() -> int {
-    int n = 0;
-    rd_ready->assign(rd.size(), false);
-    wr_ready->assign(wr.size(), false);
-    for (size_t i = 0; i < rd.size(); i++) {
-      if (rd[i] != nullptr && rd[i]->Readable()) {
-        (*rd_ready)[i] = true;
-        n++;
-      }
-    }
-    for (size_t i = 0; i < wr.size(); i++) {
-      if (wr[i] != nullptr && wr[i]->Writable()) {
-        (*wr_ready)[i] = true;
-        n++;
-      }
-    }
-    return n;
+  // A socket may appear at several positions and in both directions:
+  // register once with the union mask, remember every position.
+  struct Positions {
+    uint32_t mask = 0;
+    std::vector<size_t> rd_at;
+    std::vector<size_t> wr_at;
   };
-
-  int n = compute();
-  if (n > 0 || timeout == 0) {
-    return n;
-  }
-  SimTime deadline = timeout < 0 ? kTimeNever : sim->Now() + timeout;
-  SimCondition* wait_cv = extra_wake_cv != nullptr ? extra_wake_cv : &cv;
-
-  // Chain a notification onto each socket's readiness callback.
-  std::vector<std::function<void()>> saved;
-  std::vector<Socket*> hooked;
-  auto hook = [&](Socket* s) {
-    if (s == nullptr) {
-      return;
+  std::unordered_map<Socket*, Positions> interest;
+  for (size_t i = 0; i < rd.size(); i++) {
+    if (rd[i] != nullptr) {
+      Positions& p = interest[rd[i]];
+      p.mask |= kPollIn;
+      p.rd_at.push_back(i);
     }
-    for (Socket* h : hooked) {
-      if (h == s) {
-        return;  // already hooked (fd in both sets)
+  }
+  for (size_t i = 0; i < wr.size(); i++) {
+    if (wr[i] != nullptr) {
+      Positions& p = interest[wr[i]];
+      p.mask |= kPollOut;
+      p.wr_at.push_back(i);
+    }
+  }
+
+  PollSet set(stack);
+  for (const auto& [sock, p] : interest) {
+    set.Add(sock, p.mask, 0);
+  }
+
+  std::vector<PollReady> events;
+  set.Wait(&events, timeout, extra_wake_cv, extra_wake_flag);
+
+  int n = 0;
+  for (const PollReady& ev : events) {
+    auto it = interest.find(ev.sock);
+    if (it == interest.end()) {
+      continue;
+    }
+    if (ev.events & kPollIn) {
+      for (size_t i : it->second.rd_at) {
+        if (!(*rd_ready)[i]) {
+          (*rd_ready)[i] = true;
+          n++;
+        }
       }
     }
-    saved.push_back(s->readiness_callback());
-    std::function<void()> prev = saved.back();
-    s->SetReadinessCallback([wait_cv, prev] {
-      wait_cv->NotifyAll();
-      if (prev) {
-        prev();
+    if (ev.events & kPollOut) {
+      for (size_t i : it->second.wr_at) {
+        if (!(*wr_ready)[i]) {
+          (*wr_ready)[i] = true;
+          n++;
+        }
       }
-    });
-    hooked.push_back(s);
-  };
-  for (Socket* s : rd) {
-    hook(s);
-  }
-  for (Socket* s : wr) {
-    hook(s);
-  }
-
-  for (;;) {
-    n = compute();
-    if (n > 0 || sim->Now() >= deadline) {
-      break;
     }
-    if (extra_wake_flag != nullptr && *extra_wake_flag) {
-      break;
-    }
-    // Socket readiness callbacks and (when provided) the external
-    // cooperation path both notify wait_cv.
-    wait_cv->Wait(stack->sync()->mutex(), deadline);
-  }
-
-  for (size_t i = 0; i < hooked.size(); i++) {
-    hooked[i]->SetReadinessCallback(saved[i]);
   }
   return n;
 }

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "src/base/log.h"
+#include "src/sock/pollset.h"
 
 namespace psd {
 
@@ -45,6 +46,7 @@ Socket::Socket(Stack* stack, UdpPcb* pcb)
 }
 
 Socket::~Socket() {
+  PollDetachAll();
   if (closed_ || (tcp_ == nullptr && udp_ == nullptr)) {
     return;
   }
@@ -108,8 +110,13 @@ void Socket::WakeReaders() {
     stack_->env()->Charge(WakeupCost());
     rcv_cv_.NotifyAll();
   }
+  PollEdge(kPollIn);
   if (on_readiness_) {
-    on_readiness_();
+    // Invoke through a copy: the callback may yield (cooperative-select
+    // ping), and the blocked waiter may swap the callback out before this
+    // invocation returns — the copy keeps the closure alive.
+    std::function<void()> cb = on_readiness_;
+    cb();
   }
 }
 
@@ -119,16 +126,37 @@ void Socket::WakeWriters() {
     stack_->env()->Charge(WakeupCost());
     snd_cv_.NotifyAll();
   }
+  PollEdge(kPollOut);
   if (on_readiness_) {
-    on_readiness_();
+    std::function<void()> cb = on_readiness_;  // see WakeReaders
+    cb();
   }
 }
 
 void Socket::WakeState() {
   state_cv_.NotifyAll();
+  // State changes can flip both directions (connect completion makes the
+  // socket writable; errors make it readable) — edge both.
+  PollEdge(kPollIn | kPollOut | kPollErr);
   if (on_readiness_) {
-    on_readiness_();
+    std::function<void()> cb = on_readiness_;  // see WakeReaders
+    cb();
   }
+}
+
+void Socket::PollEdge(uint32_t events) {
+  for (PollEntry* e : poll_entries_) {
+    if (((e->mask | kPollErr) & events) != 0) {
+      e->set->PushEdge(e);
+    }
+  }
+}
+
+void Socket::PollDetachAll() {
+  for (PollEntry* e : poll_entries_) {
+    e->set->DropSocket(this);
+  }
+  poll_entries_.clear();
 }
 
 Err Socket::ConsumeError() {
@@ -498,6 +526,7 @@ Result<void> Socket::Close() {
     return OkResult();
   }
   closed_ = true;
+  PollDetachAll();  // close drops every poll registration, as epoll does
   if (boundary_.charge_entry) {
     boundary_.charge_entry(0);
   }
@@ -620,6 +649,7 @@ SockAddrIn Socket::remote_addr() const {
 
 TcpPcb* Socket::DetachTcpPcb() {
   DomainLock lock(stack_->sync());
+  PollDetachAll();
   TcpPcb* pcb = tcp_;
   tcp_ = nullptr;
   closed_ = true;
@@ -637,6 +667,7 @@ TcpPcb* Socket::DetachTcpPcb() {
 
 UdpPcb* Socket::DetachUdpPcb() {
   DomainLock lock(stack_->sync());
+  PollDetachAll();
   UdpPcb* pcb = udp_;
   udp_ = nullptr;
   closed_ = true;

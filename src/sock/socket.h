@@ -14,11 +14,15 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "src/base/result.h"
 #include "src/inet/stack.h"
 
 namespace psd {
+
+class PollSet;
+struct PollEntry;
 
 // Prices the protection-boundary crossing around socket-layer calls.
 // entry(len): called at the start of a send with the payload size, and at
@@ -81,7 +85,9 @@ class Socket {
   bool Writable() const;
   bool HasError() const;
   // Fired (in protocol-thread context, lock held) whenever readability/
-  // writability may have changed. Used by select machinery.
+  // writability may have changed. Used by the library placement's
+  // cooperative-select machinery; PollSet registration (pollset.h) is the
+  // scalable path and does not consume this slot.
   void SetReadinessCallback(std::function<void()> cb) { on_readiness_ = std::move(cb); }
   const std::function<void()>& readiness_callback() const { return on_readiness_; }
 
@@ -99,10 +105,17 @@ class Socket {
   UdpPcb* DetachUdpPcb();
 
  private:
+  friend class PollSet;
+
   void InstallHooks();
   void WakeReaders();
   void WakeWriters();
   void WakeState();
+  // Pushes a readiness edge into every PollSet this socket is registered
+  // with (domain lock held, protocol-thread context).
+  void PollEdge(uint32_t events);
+  // Unregisters from every PollSet (socket teardown).
+  void PollDetachAll();
   SimDuration WakeupCost() const;
   Err ConsumeError();
 
@@ -116,6 +129,7 @@ class Socket {
   SimCondition snd_cv_;
   SimCondition state_cv_;
   std::function<void()> on_readiness_;
+  std::vector<PollEntry*> poll_entries_;  // entries owned by their PollSets
   bool closed_ = false;
   bool shutdown_rd_ = false;
   bool shutdown_wr_ = false;

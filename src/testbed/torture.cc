@@ -139,6 +139,25 @@ const std::vector<TortureSpec>& TortureScenarios() {
     }
     {
       TortureSpec s;
+      s.name = "syn-flood";
+      s.summary = "accept-queue storm against a backlog-1 listener on a clean wire";
+      s.tcp = false;
+      s.storm_clients = 12;
+      s.storm_backlog = 1;
+      v->push_back(s);
+    }
+    {
+      TortureSpec s;
+      s.name = "syn-flood-lossy";
+      s.summary = "accept-queue storm with 2% frame loss on top";
+      s.faults.loss_rate = 0.02;
+      s.tcp = false;
+      s.storm_clients = 10;
+      s.storm_backlog = 2;
+      v->push_back(s);
+    }
+    {
+      TortureSpec s;
       s.name = "everything";
       s.summary = "all fault classes at once, plus a brief partition";
       s.faults.loss_rate = 0.02;
@@ -189,8 +208,14 @@ TortureResult RunTorture(Config config, const TortureSpec& spec, uint64_t seed,
   int udp_bad = 0;       // content/shape validation failures (must stay 0)
   uint64_t udp_rx = 0;   // datagrams received, duplicates included
   bool udp_tx_done = !spec.udp;
+  int storm_connected = 0;   // clients whose handshake completed
+  int storm_accepted = 0;    // connections the server's accept loop popped
+  int storm_clients_done = 0;
+  uint64_t storm_tx_bytes = 0;
+  uint64_t storm_rx_bytes = 0;
   int apps_done = 0;
-  const int apps_total = 2 * pairs + (spec.udp ? 2 : 0);
+  const int apps_total =
+      2 * pairs + (spec.udp ? 2 : 0) + (spec.storm_clients > 0 ? spec.storm_clients + 1 : 0);
 
   FaultPlan faults = spec.faults;
   faults.seed = seed;
@@ -340,6 +365,93 @@ TortureResult RunTorture(Config config, const TortureSpec& spec, uint64_t seed,
     });
   }
 
+  // --- Accept-storm workload: many short connections against one listener
+  // with a tiny backlog. The listen queue must overflow (that is the point),
+  // but overflow is a *drop*, never corruption: every client that completed
+  // a handshake is eventually accepted and its bytes all arrive.
+  if (spec.storm_clients > 0) {
+    w.SpawnApp(1, "storm-srv", [&] {
+      SocketApi* api = w.api(1);
+      int lfd = *api->CreateSocket(IpProto::kTcp);
+      api->Bind(lfd, SockAddrIn{Ipv4Addr::Any(), 5999});
+      api->Listen(lfd, spec.storm_backlog);
+      int pfd = *api->PollCreate();
+      api->PollAdd(pfd, lfd, kPollEventIn);
+      // Any child a listener still links to (embryonic or accept-queued)
+      // is an accept we still owe; the loop may only exit once none remain.
+      auto pending_children = [&w] {
+        for (Stack* st : w.AllStacks(1)) {
+          DomainLock lock(st->sync());
+          for (const auto& p : st->tcp().pcbs()) {
+            if (p->parent != nullptr && !p->detached) {
+              return true;
+            }
+          }
+        }
+        return false;
+      };
+      std::vector<PollEvent> events;
+      for (;;) {
+        Result<int> n = api->PollWait(pfd, &events, Millis(500));
+        if (n.ok() && *n > 0) {
+          Result<int> cfd = api->Accept(lfd, nullptr);
+          if (cfd.ok()) {
+            storm_accepted++;
+            uint8_t buf[1024];
+            for (;;) {
+              Result<size_t> g = api->Recv(*cfd, buf, sizeof(buf), nullptr, false);
+              if (!g.ok() || *g == 0) {
+                break;
+              }
+              storm_rx_bytes += *g;
+            }
+            api->Close(*cfd);
+            // Linger with the queue unserviced so the storm actually fills
+            // both backlog halves.
+            w.sim().current_thread()->SleepFor(spec.storm_accept_delay);
+          }
+          continue;
+        }
+        if (storm_clients_done == spec.storm_clients && !pending_children()) {
+          break;
+        }
+      }
+      api->PollClose(pfd);
+      api->Close(lfd);
+      apps_done++;
+    });
+    for (int k = 0; k < spec.storm_clients; k++) {
+      w.SpawnApp(0, "storm-c" + std::to_string(k), [&w, &spec, &storm_connected,
+                                                   &storm_clients_done, &storm_tx_bytes,
+                                                   &apps_done, seed, k] {
+        SocketApi* api = w.api(0);
+        Rng gen = Rng::Stream(seed, 500 + static_cast<uint64_t>(k));
+        w.sim().current_thread()->SleepFor(Millis(1 + gen.Below(50)));
+        int fd = *api->CreateSocket(IpProto::kTcp);
+        if (api->Connect(fd, SockAddrIn{w.addr(1), 5999}).ok()) {
+          storm_connected++;
+          std::vector<uint8_t> payload(256 + gen.Below(768));
+          for (uint8_t& b : payload) {
+            b = static_cast<uint8_t>(gen.Next());
+          }
+          size_t sent = 0;
+          while (sent < payload.size()) {
+            Result<size_t> n = api->Send(fd, payload.data() + sent, payload.size() - sent,
+                                         nullptr);
+            if (!n.ok()) {
+              break;
+            }
+            sent += *n;
+          }
+          storm_tx_bytes += sent;
+        }
+        api->Close(fd);
+        storm_clients_done++;
+        apps_done++;
+      });
+    }
+  }
+
   // --- Virtual-time progress watchdog: a self-rescheduling event samples a
   // progress signature; quiet_limit unchanged samples before the workload
   // completes means the run is stalled. Stops ticking once the workload is
@@ -351,6 +463,7 @@ TortureResult RunTorture(Config config, const TortureSpec& spec, uint64_t seed,
     for (int k = 0; k < pairs; k++) {
       app_bytes += rx_bytes[k];
     }
+    app_bytes += storm_rx_bytes + static_cast<uint64_t>(storm_accepted);
     return std::array<uint64_t, 6>{pj.minted(), pj.delivered(), pj.consumed(), pj.dropped(),
                                    app_bytes,
                                    udp_rx + static_cast<uint64_t>(apps_done)};
@@ -409,6 +522,23 @@ TortureResult RunTorture(Config config, const TortureSpec& spec, uint64_t seed,
   if (spec.expect_all_udp && complete && udp_unique != spec.udp_count) {
     fail("digest: fault-free run lost udp datagrams (" + std::to_string(udp_unique) + "/" +
          std::to_string(spec.udp_count) + ")");
+  }
+
+  // (1b) accept-storm reconciliation: the queue overflowed (else the
+  // scenario tested nothing), yet every completed handshake was eventually
+  // accepted and every byte a client pushed reached the accept loop.
+  if (spec.storm_clients > 0 && complete) {
+    if (dl.total(DropReason::kTcpListenOverflow) == 0) {
+      fail("storm: the listen queue never overflowed");
+    }
+    if (storm_accepted != storm_connected) {
+      fail("storm: " + std::to_string(storm_connected) + " handshakes completed but " +
+           std::to_string(storm_accepted) + " connections were accepted");
+    }
+    if (storm_rx_bytes != storm_tx_bytes) {
+      fail("storm: clients sent " + std::to_string(storm_tx_bytes) + " bytes, server received " +
+           std::to_string(storm_rx_bytes));
+    }
   }
 
   // (2) journey conservation.
@@ -525,6 +655,11 @@ TortureResult RunTorture(Config config, const TortureSpec& spec, uint64_t seed,
   if (spec.udp) {
     rep << "udp: sent=" << spec.udp_count << " unique=" << udp_unique << " dups=" << udp_dups
         << " bad=" << udp_bad << "\n";
+  }
+  if (spec.storm_clients > 0) {
+    rep << "storm: clients=" << spec.storm_clients << " connected=" << storm_connected
+        << " accepted=" << storm_accepted << " bytes=" << storm_rx_bytes << "/" << storm_tx_bytes
+        << " overflow-drops=" << dl.total(DropReason::kTcpListenOverflow) << "\n";
   }
   rep << "invariants:";
   if (result.passed) {

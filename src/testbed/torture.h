@@ -50,6 +50,16 @@ struct TortureSpec {
   int udp_count = 64;
   size_t udp_payload = 512;
   bool expect_all_udp = false;  // fault-free runs must deliver every datagram
+  // Accept-storm workload (0 = off): `storm_clients` short-lived
+  // connections race one listener whose accept backlog is `storm_backlog`
+  // and whose single-threaded accept loop lingers `storm_accept_delay` per
+  // connection. The run must overflow the listen queue (ledgered as
+  // kTcpListenOverflow), yet every client that completed its handshake must
+  // eventually be accepted with its bytes intact, and teardown must be
+  // leak-free — the split-queue accounting invariant.
+  int storm_clients = 0;
+  int storm_backlog = 1;
+  SimDuration storm_accept_delay = Millis(100);
   SimDuration deadline = Seconds(600);
   SimDuration quiet_window = Seconds(20);
   int quiet_limit = 3;

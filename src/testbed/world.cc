@@ -26,7 +26,8 @@ bool IsLibraryConfig(Config c) {
   return c == Config::kLibraryIpc || c == Config::kLibraryShm || c == Config::kLibraryShmIpf;
 }
 
-World::World(Config config, const MachineProfile& profile, int hosts, bool pio_nic)
+World::World(Config config, const MachineProfile& profile, int hosts, bool pio_nic,
+             int placement_hosts)
     : config_(config),
       profile_(profile),
       wire_(&sim_, WireParams{profile.wire_per_byte, profile.wire_latency,
@@ -36,7 +37,9 @@ World::World(Config config, const MachineProfile& profile, int hosts, bool pio_n
     std::string name = "h" + std::to_string(i);
     node->host = std::make_unique<SimHost>(&sim_, name, &profile_, &wire_, addr(i),
                                            static_cast<uint16_t>(i + 1), pio_nic);
-    switch (config) {
+    Config host_config =
+        (placement_hosts >= 0 && i >= placement_hosts) ? Config::kInKernel : config;
+    switch (host_config) {
       case Config::kInKernel:
         node->kernel_node = std::make_unique<KernelNode>(node->host.get());
         node->api = node->kernel_node.get();
@@ -171,6 +174,26 @@ void World::AttachWirePcap(PcapCapture* pcap) { wire_.SetPcapTap(pcap); }
 
 void World::AttachKernelPcap(int i, PcapCapture* pcap) {
   nodes_[i]->host->kernel()->SetPcapTap(pcap);
+}
+
+void World::SeedStaticArp(int hub) {
+  MacAddr hub_mac = MacAddr::FromHostId(static_cast<uint16_t>(hub + 1));
+  for (int i = 0; i < static_cast<int>(nodes_.size()); i++) {
+    for (Stack* s : AllStacks(i)) {
+      if (s->arp() == nullptr) {
+        continue;  // library stacks cache from their OS server instead
+      }
+      if (i == hub) {
+        for (int j = 0; j < static_cast<int>(nodes_.size()); j++) {
+          if (j != hub) {
+            s->arp()->AddStatic(addr(j), MacAddr::FromHostId(static_cast<uint16_t>(j + 1)));
+          }
+        }
+      } else {
+        s->arp()->AddStatic(addr(hub), hub_mac);
+      }
+    }
+  }
 }
 
 ProtocolLibrary* World::AddLibrary(int i, const std::string& name) {

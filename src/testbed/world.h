@@ -32,8 +32,14 @@ bool IsLibraryConfig(Config c);
 
 class World {
  public:
-  // Builds `hosts` machines at 10.0.0.(i+1) on one segment.
-  World(Config config, const MachineProfile& profile, int hosts = 2, bool pio_nic = false);
+  // Builds `hosts` machines at 10.0.x.y on one segment (host i gets address
+  // 10.0.0.0 + i + 1, spread across the low two octets). When
+  // `placement_hosts` >= 0, only the first `placement_hosts` machines are
+  // built in `config`; the rest run the cheap in-kernel placement — the
+  // C10K workloads use this so one server under test faces thousands of
+  // plain clients.
+  World(Config config, const MachineProfile& profile, int hosts = 2, bool pio_nic = false,
+        int placement_hosts = -1);
   ~World();
 
   World(const World&) = delete;
@@ -46,7 +52,10 @@ class World {
 
   SimHost* host(int i) { return nodes_[i]->host.get(); }
   SocketApi* api(int i) { return nodes_[i]->api; }
-  Ipv4Addr addr(int i) const { return Ipv4Addr::FromOctets(10, 0, 0, static_cast<uint8_t>(i + 1)); }
+  Ipv4Addr addr(int i) const {
+    return Ipv4Addr::FromOctets(10, 0, static_cast<uint8_t>((i + 1) >> 8),
+                                static_cast<uint8_t>((i + 1) & 0xff));
+  }
 
   // Placement internals, for tests that inspect them (null when the
   // configuration doesn't have the component).
@@ -103,6 +112,13 @@ class World {
   // Creates an extra library application on host `i` (library configs
   // only), e.g. the child of a fork or a second process sharing the host.
   ProtocolLibrary* AddLibrary(int i, const std::string& name);
+
+  // Pre-resolves hub-and-spoke ARP: every host learns host `hub`'s MAC and
+  // the hub learns everyone's. Large worlds use this so the measurement is
+  // the protocol workload, not O(hosts^2) broadcast-ARP bystander wakeups —
+  // the static-ARP configuration every real C10K testbed runs with. Call
+  // before sim().Run().
+  void SeedStaticArp(int hub = 0);
 
  private:
   struct Node {

@@ -119,6 +119,84 @@ TEST_P(PlacementTest, TcpConnectTransferClose) {
   EXPECT_TRUE(client_done);
 }
 
+// An event-driven server: one PollWait interest set multiplexes the listener
+// and every accepted connection, in each placement (kernel trap, UX-server
+// RPC, and the library placements' cooperative-select bridge).
+TEST_P(PlacementTest, PollWaitDrivenAcceptAndEcho) {
+  World w(GetParam(), MachineProfile::DecStation5000());
+  constexpr int kClients = 3;
+  int served = 0;
+  int echoed = 0;
+
+  w.SpawnApp(1, "poll-server", [&] {
+    SocketApi* api = w.api(1);
+    int lfd = *api->CreateSocket(IpProto::kTcp);
+    ASSERT_TRUE(api->Bind(lfd, SockAddrIn{Ipv4Addr::Any(), 5001}).ok());
+    ASSERT_TRUE(api->Listen(lfd, kClients).ok());
+    Result<int> pfd = api->PollCreate();
+    ASSERT_TRUE(pfd.ok()) << ErrName(pfd.error());
+    ASSERT_TRUE(api->PollAdd(*pfd, lfd, kPollEventIn).ok());
+
+    int open = 0;
+    std::vector<PollEvent> events;
+    while (served < kClients || open > 0) {
+      Result<int> n = api->PollWait(*pfd, &events, Seconds(20));
+      ASSERT_TRUE(n.ok()) << ErrName(n.error());
+      ASSERT_GT(*n, 0) << "poll-driven server starved";
+      for (const PollEvent& ev : events) {
+        if (ev.fd == lfd) {
+          Result<int> cfd = api->Accept(lfd, nullptr);
+          ASSERT_TRUE(cfd.ok());
+          ASSERT_TRUE(api->PollAdd(*pfd, *cfd, kPollEventIn).ok());
+          served++;
+          open++;
+          continue;
+        }
+        uint8_t buf[64];
+        Result<size_t> got = api->Recv(ev.fd, buf, sizeof(buf), nullptr, false);
+        ASSERT_TRUE(got.ok());
+        if (*got == 0) {  // EOF
+          api->PollRemove(*pfd, ev.fd);
+          api->Close(ev.fd);
+          open--;
+          continue;
+        }
+        Result<size_t> s = api->Send(ev.fd, buf, *got, nullptr);
+        ASSERT_TRUE(s.ok());
+      }
+    }
+    api->PollClose(*pfd);
+    api->Close(lfd);
+  });
+
+  for (int k = 0; k < kClients; k++) {
+    w.SpawnApp(0, "cli" + std::to_string(k), [&, k] {
+      SocketApi* api = w.api(0);
+      int fd = *api->CreateSocket(IpProto::kTcp);
+      w.sim().current_thread()->SleepFor(Millis(10 + 7 * k));
+      ASSERT_TRUE(api->Connect(fd, SockAddrIn{w.addr(1), 5001}).ok());
+      std::string msg = "echo-" + std::to_string(k);
+      ASSERT_TRUE(api->Send(fd, reinterpret_cast<const uint8_t*>(msg.data()), msg.size(),
+                            nullptr).ok());
+      uint8_t buf[64];
+      size_t got = 0;
+      while (got < msg.size()) {
+        Result<size_t> n = api->Recv(fd, buf + got, sizeof(buf) - got, nullptr, false);
+        ASSERT_TRUE(n.ok());
+        ASSERT_GT(*n, 0u);
+        got += *n;
+      }
+      EXPECT_EQ(std::string(buf, buf + got), msg);
+      api->Close(fd);
+      echoed++;
+    });
+  }
+
+  w.sim().Run(Seconds(60));
+  EXPECT_EQ(served, kClients);
+  EXPECT_EQ(echoed, kClients);
+}
+
 TEST_P(PlacementTest, TcpConnectRefused) {
   World w(GetParam(), MachineProfile::DecStation5000());
   bool done = false;

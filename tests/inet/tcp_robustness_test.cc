@@ -163,6 +163,7 @@ TEST(TcpRobustness, ConnectTimesOutWhenPeerUnreachable) {
 }
 
 TEST(TcpRobustness, ListenBacklogLimitsPendingConnections) {
+  DropLedger::Get().Reset();
   World w(Config::kInKernel, MachineProfile::DecStation5000());
   int established = 0;
   w.SpawnApp(1, "listener", [&] {
@@ -170,7 +171,7 @@ TEST(TcpRobustness, ListenBacklogLimitsPendingConnections) {
     int lfd = *api->CreateSocket(IpProto::kTcp);
     api->Bind(lfd, SockAddrIn{Ipv4Addr::Any(), 5001});
     api->Listen(lfd, 2);
-    // Never accepts: connections beyond the backlog must not establish.
+    // Never accepts: the accept queue must cap at the backlog.
     w.sim().current_thread()->SleepFor(Seconds(400));
   });
   for (int i = 0; i < 4; i++) {
@@ -184,7 +185,27 @@ TEST(TcpRobustness, ListenBacklogLimitsPendingConnections) {
     });
   }
   w.sim().Run(Seconds(300));
-  EXPECT_EQ(established, 2);
+  // BSD split-queue semantics: the SYN half (3 * backlog / 2) admits all
+  // four staggered handshakes, so every client's connect succeeds — a
+  // SYN-ACKed peer is established from its own side.
+  EXPECT_EQ(established, 4);
+  // But only `backlog` children may be promoted into the accept queue; the
+  // remaining ACKs are refused at promotion and ledgered (the SYN-ACK
+  // retransmit cycle re-attempts promotion, so at least one drop each).
+  EXPECT_GE(DropLedger::Get().total(DropReason::kTcpListenOverflow), 2u);
+  // The refused children stay embryonic until the connection-establishment
+  // timer reaps them, returning the listener to exactly backlog pending.
+  Stack* server = w.stack(1);
+  DomainLock lock(server->sync());
+  TcpPcb* listener = nullptr;
+  for (const auto& pcb : server->tcp().pcbs()) {
+    if (pcb->state == TcpState::kListen) {
+      listener = pcb.get();
+    }
+  }
+  ASSERT_NE(listener, nullptr);
+  EXPECT_EQ(listener->embryonic, 0);
+  EXPECT_EQ(static_cast<int>(listener->accept_ready.size()), 2);
 }
 
 }  // namespace
