@@ -23,22 +23,36 @@
 //                          one wakeup, the cost the subsystem exists to cut
 //   wall_ns_per_pkt      — host ns per simulated wire frame
 //
-// Virtual quantities (frames, flow bytes, accepts) must be bit-identical
-// across --trials runs; divergence aborts the bench (wall-clock state must
-// never leak into simulation behavior). Emits BENCH_c10k.json (shared
-// schema).
+// Observatory sections (ISSUE 8): each placement row also reports per-op
+// RPC accounting from the server's worker recorders (count, bytes,
+// queue-wait vs service p50/p99), the client-side RPC total and its
+// per-connection amplification (traps for the in-kernel baseline),
+// shared-metastate event totals plus rates from a 500 ms virtual-time
+// sampler, and — with --migrate=N (default 8, library placements) — N live
+// migrations performed mid-churn (ReturnToServer + Reacquire on freshly
+// accepted sessions) with per-phase latency percentiles and a zero-loss
+// check: every migrated connection must still complete its flow (exit 4
+// otherwise).
+//
+// Virtual quantities (frames, flow bytes, accepts, RPC totals, migrations)
+// must be bit-identical across --trials runs; divergence aborts the bench
+// (wall-clock state must never leak into simulation behavior). Emits
+// BENCH_c10k.json (shared schema).
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "bench/common/bench_json.h"
 #include "src/base/rng.h"
 #include "src/obs/journey.h"
+#include "src/obs/metastate.h"
+#include "src/obs/timeseries.h"
 #include "src/testbed/world.h"
 
 namespace psd {
@@ -48,8 +62,16 @@ struct C10kParams {
   int clients = 2048;
   int conns = 2;        // connections per client
   int backlog = 128;    // server listen backlog (accept half)
+  int migrate = 8;      // live migrations mid-churn (library placements)
   size_t flow_min = 256;
   size_t flow_cap = 32 * 1024;
+};
+
+struct PhaseStat {
+  std::string name;
+  uint64_t count = 0;
+  double p50_us = 0;
+  double p99_us = 0;
 };
 
 struct C10kOutcome {
@@ -66,6 +88,23 @@ struct C10kOutcome {
   uint64_t poll_waits = 0;
   uint64_t listen_overflows = 0;
   std::vector<SimDuration> connect_ns;  // per successful connect
+  // Observatory: per-op RPC accounting (server side, merged workers; only
+  // ops with count > 0), client-side RPC total, trap baseline.
+  std::vector<std::pair<std::string, RpcOpStats>> rpc_ops;
+  uint64_t rpc_client_total = 0;
+  uint64_t server_traps = 0;
+  // Observatory: metastate totals, sampler rates, migration measurement.
+  std::vector<std::pair<std::string, uint64_t>> meta_totals;
+  std::vector<PhaseStat> phases;
+  double rpcs_per_sec = 0;
+  double arp_miss_per_sec = 0;
+  double route_lookup_per_sec = 0;
+  double port_acquire_per_sec = 0;
+  uint64_t timeseries_samples = 0;
+  uint64_t live_migrations = 0;
+  uint64_t migrated_completed = 0;
+  uint64_t migrated_errors = 0;
+  std::vector<SimDuration> migrate_total_ns;  // end-to-end per live migration
   // Host quantity.
   double wall_ns = 0;
 };
@@ -87,6 +126,74 @@ double Percentile(std::vector<SimDuration> v, double pct) {
   return static_cast<double>(v[std::min(idx, v.size() - 1)]);
 }
 
+// Raw-JSON section builders (BenchJson rows are flat; these nest).
+std::string RpcOpsJson(const std::vector<std::pair<std::string, RpcOpStats>>& ops) {
+  std::string out = "{";
+  for (size_t i = 0; i < ops.size(); i++) {
+    const RpcOpStats& st = ops[i].second;
+    char buf[320];
+    std::snprintf(buf, sizeof buf,
+                  "%s\"%s\": {\"count\": %llu, \"bytes_in\": %llu, \"bytes_out\": %llu, "
+                  "\"queue_p50_us\": %.3f, \"queue_p99_us\": %.3f, "
+                  "\"service_p50_us\": %.3f, \"service_p99_us\": %.3f}",
+                  i == 0 ? "" : ", ", ops[i].first.c_str(),
+                  static_cast<unsigned long long>(st.count),
+                  static_cast<unsigned long long>(st.bytes_in),
+                  static_cast<unsigned long long>(st.bytes_out),
+                  st.queue_wait.QuantileMicros(0.5), st.queue_wait.QuantileMicros(0.99),
+                  st.service.QuantileMicros(0.5), st.service.QuantileMicros(0.99));
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
+
+std::string MetastateJson(const C10kOutcome& r) {
+  std::string out = "{\"totals\": {";
+  for (size_t i = 0; i < r.meta_totals.size(); i++) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "%s\"%s\": %llu", i == 0 ? "" : ", ",
+                  r.meta_totals[i].first.c_str(),
+                  static_cast<unsigned long long>(r.meta_totals[i].second));
+    out += buf;
+  }
+  char rates[256];
+  std::snprintf(rates, sizeof rates,
+                "}, \"rates_per_sec\": {\"rpc\": %.6g, \"arp_miss\": %.6g, "
+                "\"route_lookup\": %.6g, \"port_acquire\": %.6g}, "
+                "\"timeseries_samples\": %llu}",
+                r.rpcs_per_sec, r.arp_miss_per_sec, r.route_lookup_per_sec,
+                r.port_acquire_per_sec, static_cast<unsigned long long>(r.timeseries_samples));
+  out += rates;
+  return out;
+}
+
+std::string MigrationsJson(const C10kOutcome& r, int requested) {
+  char head[256];
+  std::snprintf(head, sizeof head,
+                "{\"requested\": %d, \"performed\": %llu, \"completed\": %llu, "
+                "\"loss\": %llu, \"total_p50_ms\": %.4f, \"total_p99_ms\": %.4f, "
+                "\"phases\": {",
+                requested, static_cast<unsigned long long>(r.live_migrations),
+                static_cast<unsigned long long>(r.migrated_completed),
+                static_cast<unsigned long long>(r.live_migrations - r.migrated_completed +
+                                                r.migrated_errors),
+                Percentile(r.migrate_total_ns, 50) / 1e6,
+                Percentile(r.migrate_total_ns, 99) / 1e6);
+  std::string out = head;
+  for (size_t i = 0; i < r.phases.size(); i++) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "%s\"%s\": {\"count\": %llu, \"p50_us\": %.3f, \"p99_us\": %.3f}",
+                  i == 0 ? "" : ", ", r.phases[i].name.c_str(),
+                  static_cast<unsigned long long>(r.phases[i].count), r.phases[i].p50_us,
+                  r.phases[i].p99_us);
+    out += buf;
+  }
+  out += "}}";
+  return out;
+}
+
 C10kOutcome RunC10k(Config config, const MachineProfile& prof, const C10kParams& p,
                     uint64_t seed) {
   PacketJourney::Get().Reset();
@@ -98,10 +205,39 @@ C10kOutcome RunC10k(Config config, const MachineProfile& prof, const C10kParams&
     // runs the cheap in-kernel placement so the fleet scales.
     World w(config, prof, /*hosts=*/1 + p.clients, /*pio_nic=*/false, /*placement_hosts=*/1);
     w.SeedStaticArp();  // measure the churn, not O(clients^2) ARP bystanders
+    // The ledger is process-wide: reset after World setup so the totals
+    // cover the storm, not 2049 hosts' construction-time route installs.
+    MetastateLedger::Get().Reset();
+    // Small observatory registry for the time-series sampler: metastate
+    // event totals plus the server's client-side RPC count (each snapshot
+    // copies every gauge, so keep the set bounded — this is NOT the full
+    // per-host export).
+    StatsRegistry reg;
+    MetastateLedger::Get().ExportStats(&reg, "meta.");
+    if (w.library(0) != nullptr) {
+      reg.RegisterGauge("rpc.total", [&w] { return w.library(0)->rpc_calls().total(); });
+    } else if (w.ux_node(0) != nullptr) {
+      reg.RegisterGauge("rpc.total", [&w] { return w.ux_node(0)->rpc_calls().total(); });
+    } else {
+      reg.RegisterGauge("rpc.total", [&w] { return w.kernel_node(0)->traps(); });
+    }
+    reg.RegisterGauge("wire.frames", [&w] { return w.wire().frames_carried(); });
+    TimeSeriesSampler sampler(&w.sim(), &reg, Millis(500));
+    sampler.Start();
+
     const uint64_t total_conns = static_cast<uint64_t>(p.clients) * p.conns;
     SimTime first_connect = 0;
     SimTime last_served = 0;
     int server_pfd = -1;
+    // Live-migration plan: N migrations spread evenly through the accept
+    // stream (library placements only; the others have no app-managed
+    // sessions to migrate). Triggered by accept count, so it is
+    // deterministic across trials.
+    LibraryNode* lib_node = w.library_node(0);
+    const uint64_t migrate_n =
+        lib_node != nullptr && p.migrate > 0 ? static_cast<uint64_t>(p.migrate) : 0;
+    const uint64_t migrate_stride = std::max<uint64_t>(1, total_conns / (migrate_n + 1));
+    std::set<int> migrated_fds;
 
     w.SpawnApp(0, "c10k-server", [&] {
       SocketApi* api = w.api(0);
@@ -127,6 +263,20 @@ C10kOutcome RunC10k(Config config, const MachineProfile& prof, const C10kParams&
             if (cfd.ok()) {
               out.accepts++;
               api->PollAdd(pfd, *cfd, kPollEventIn);
+              if (out.live_migrations < migrate_n && out.accepts % migrate_stride == 0) {
+                // Live migration under load: bounce the just-accepted
+                // session out to the OS server and immediately reacquire it
+                // while its client is mid-flow. The connection must still
+                // complete (zero-loss check below).
+                SimTime m0 = w.sim().Now();
+                if (lib_node->ReturnToServer(*cfd).ok() && lib_node->Reacquire(*cfd).ok()) {
+                  out.live_migrations++;
+                  out.migrate_total_ns.push_back(w.sim().Now() - m0);
+                  migrated_fds.insert(*cfd);
+                } else {
+                  out.migrated_errors++;
+                }
+              }
             }
             continue;
           }
@@ -135,12 +285,22 @@ C10kOutcome RunC10k(Config config, const MachineProfile& prof, const C10kParams&
             api->Close(ev.fd);  // close drops the poll registration
             out.flows_completed++;
             last_served = w.sim().Now();
+            if (migrated_fds.erase(ev.fd) > 0) {
+              if (got.ok()) {
+                out.migrated_completed++;  // clean EOF after migration
+              } else {
+                out.migrated_errors++;
+              }
+            }
           } else {
             out.flow_bytes += *got;
           }
         }
       }
       api->Close(lfd);
+      // The storm is over: stop the sampler or its self-rescheduling tick
+      // would keep the event loop alive to the Run horizon.
+      sampler.Stop();
       // No PollClose: the set must outlive the loop so the bench can read
       // its edge/wakeup counters; World teardown reclaims it.
     });
@@ -215,6 +375,70 @@ C10kOutcome RunC10k(Config config, const MachineProfile& prof, const C10kParams&
       out.poll_wakeups = set->wakeups();
       out.poll_waits = set->wait_blocks();
     }
+
+    // Zero-loss migration check: every live-migrated connection must have
+    // completed its flow with a clean EOF.
+    if (migrate_n > 0 &&
+        (out.live_migrations < migrate_n || out.migrated_completed != out.live_migrations ||
+         out.migrated_errors != 0)) {
+      std::fprintf(stderr,
+                   "bench_c10k: %s migration loss — %llu requested, %llu performed, "
+                   "%llu completed, %llu errors\n",
+                   ConfigName(config), static_cast<unsigned long long>(migrate_n),
+                   static_cast<unsigned long long>(out.live_migrations),
+                   static_cast<unsigned long long>(out.migrated_completed),
+                   static_cast<unsigned long long>(out.migrated_errors));
+      std::exit(4);
+    }
+
+    // Observatory extraction (before the World and its recorders die).
+    out.timeseries_samples = sampler.taken();
+    out.rpcs_per_sec = sampler.RatePerSec("rpc.total");
+    out.arp_miss_per_sec = sampler.RatePerSec("meta.arp-miss");
+    out.route_lookup_per_sec = sampler.RatePerSec("meta.route-lookup");
+    out.port_acquire_per_sec = sampler.RatePerSec("meta.port-acquire");
+    MetastateLedger& meta = MetastateLedger::Get();
+    for (int e = 0; e < static_cast<int>(MetaEvent::kNumEvents); e++) {
+      out.meta_totals.emplace_back(MetaEventName(static_cast<MetaEvent>(e)),
+                                   meta.total(static_cast<MetaEvent>(e)));
+    }
+    for (int ph = 0; ph < static_cast<int>(MigrationPhase::kNumPhases); ph++) {
+      const LatencyHistogram& h = meta.phase(static_cast<MigrationPhase>(ph));
+      out.phases.push_back(PhaseStat{MigrationPhaseName(static_cast<MigrationPhase>(ph)),
+                                     h.count(), h.QuantileMicros(0.5), h.QuantileMicros(0.99)});
+    }
+    auto leaf_of = [](const char* name) {
+      const char* slash = std::strchr(name, '/');
+      return slash != nullptr ? slash + 1 : name;
+    };
+    if (w.net_server(0) != nullptr) {
+      RpcOpRecorder rec = w.net_server(0)->MergedRpcStats();
+      for (size_t i = 0; i < rec.slots(); i++) {
+        if (rec.op(i).count == 0) {
+          continue;
+        }
+        out.rpc_ops.emplace_back(leaf_of(ProxyOpName(ProxyOpFromSlot(static_cast<int>(i)))),
+                                 rec.op(i));
+      }
+    } else if (w.ux_server(0) != nullptr) {
+      RpcOpRecorder rec = w.ux_server(0)->MergedRpcStats();
+      for (size_t i = 0; i < rec.slots(); i++) {
+        if (rec.op(i).count == 0) {
+          continue;
+        }
+        out.rpc_ops.emplace_back(
+            leaf_of(ServOpName(static_cast<ServOp>(kServOpFirst + static_cast<uint32_t>(i)))),
+            rec.op(i));
+      }
+    }
+    if (w.library(0) != nullptr) {
+      out.rpc_client_total = w.library(0)->rpc_calls().total();
+    } else if (w.ux_node(0) != nullptr) {
+      out.rpc_client_total = w.ux_node(0)->rpc_calls().total();
+    }
+    if (w.kernel_node(0) != nullptr) {
+      out.server_traps = w.kernel_node(0)->traps();
+    }
   }
   auto t1 = std::chrono::steady_clock::now();
   out.wall_ns =
@@ -242,13 +466,16 @@ int main(int argc, char** argv) {
       trials = std::atoi(argv[i] + 9);
     } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       seed = static_cast<uint64_t>(std::atoll(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--migrate=", 10) == 0) {
+      p.migrate = std::atoi(argv[i] + 10);
     } else {
-      std::fprintf(stderr, "usage: %s [--clients=N] [--conns=N] [--trials=N] [--seed=N]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--clients=N] [--conns=N] [--trials=N] [--seed=N] [--migrate=N]\n",
                    argv[0]);
       return 1;
     }
   }
-  if (p.clients < 1 || p.conns < 1 || trials < 1) {
+  if (p.clients < 1 || p.conns < 1 || trials < 1 || p.migrate < 0) {
     std::fprintf(stderr, "bench_c10k: bad parameters\n");
     return 1;
   }
@@ -261,6 +488,7 @@ int main(int argc, char** argv) {
   out.summary().Set("conns_per_client", p.conns);
   out.summary().Set("backlog", p.backlog);
   out.summary().Set("seed", seed);
+  out.summary().Set("migrate", p.migrate);
 
   for (Config config : kConfigs) {
     C10kOutcome ref;
@@ -272,7 +500,9 @@ int main(int argc, char** argv) {
         min_wall = r.wall_ns;
       } else {
         if (r.frames != ref.frames || r.events != ref.events || r.accepts != ref.accepts ||
-            r.flow_bytes != ref.flow_bytes || r.virtual_end != ref.virtual_end) {
+            r.flow_bytes != ref.flow_bytes || r.virtual_end != ref.virtual_end ||
+            r.rpc_client_total != ref.rpc_client_total ||
+            r.live_migrations != ref.live_migrations) {
           std::fprintf(stderr, "bench_c10k: %s trial %d diverged — wall-clock state leaked\n",
                        ConfigName(config), t);
           return 3;
@@ -296,6 +526,16 @@ int main(int argc, char** argv) {
         p99, static_cast<unsigned long long>(ref.frames),
         static_cast<unsigned long long>(ref.poll_edges),
         static_cast<unsigned long long>(ref.poll_wakeups), wall_ns_per_pkt);
+    double rpc_per_conn = ref.accepts > 0
+                              ? static_cast<double>(ref.rpc_client_total) /
+                                    static_cast<double>(ref.accepts)
+                              : 0;
+    std::printf(
+        "                rpc %8llu calls (%5.2f/conn, %8.0f/s)  migrations %llu  "
+        "migrate p99 %.2f ms\n",
+        static_cast<unsigned long long>(ref.rpc_client_total), rpc_per_conn, ref.rpcs_per_sec,
+        static_cast<unsigned long long>(ref.live_migrations),
+        Percentile(ref.migrate_total_ns, 99) / 1e6);
 
     BenchJson::Obj& row = out.AddResult();
     row.Set("placement", ConfigName(config));
@@ -316,6 +556,13 @@ int main(int argc, char** argv) {
     row.Set("virtual_end_ms", static_cast<double>(ref.virtual_end) / 1e6);
     row.Set("wall_ns", min_wall);
     row.Set("wall_ns_per_pkt", wall_ns_per_pkt);
+    row.Set("rpc_total", ref.rpc_client_total);
+    row.Set("rpc_per_connection", rpc_per_conn);
+    row.Set("server_traps", ref.server_traps);
+    row.SetRaw("rpc_ops", RpcOpsJson(ref.rpc_ops));
+    row.SetRaw("metastate", MetastateJson(ref));
+    row.SetRaw("migrations",
+               MigrationsJson(ref, IsLibraryConfig(config) ? p.migrate : 0));
   }
   out.WriteFile();
   return 0;

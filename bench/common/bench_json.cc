@@ -72,6 +72,8 @@ void BenchJson::Obj::Set(const std::string& key, int v) { Put(key, std::to_strin
 
 void BenchJson::Obj::Set(const std::string& key, bool v) { Put(key, v ? "true" : "false"); }
 
+void BenchJson::Obj::SetRaw(const std::string& key, std::string raw) { Put(key, std::move(raw)); }
+
 std::string BenchJson::Obj::Render() const {
   std::string out = "{";
   for (size_t i = 0; i < fields_.size(); i++) {

@@ -33,6 +33,10 @@ class BenchJson {
     void Set(const std::string& key, uint64_t v);
     void Set(const std::string& key, int v);
     void Set(const std::string& key, bool v);
+    // Inserts `raw` verbatim — the caller guarantees it is valid JSON. For
+    // nested objects/arrays (per-op tables, phase histograms) that the flat
+    // Set() overloads cannot express.
+    void SetRaw(const std::string& key, std::string raw);
 
     std::string Render() const;  // "{...}" on one line
 

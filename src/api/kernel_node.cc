@@ -46,8 +46,12 @@ void KernelNode::SetTracer(Tracer* tracer) {
 
 BoundaryModel KernelNode::TrapBoundary() {
   SimHost* host = host_;
+  // Only the enter leg counts toward traps_: one socket call == one trap.
   return BoundaryModel{
-      [host](size_t) { host->sim()->current_thread()->Charge(host->prof()->trap); },
+      [this, host](size_t) {
+        traps_++;
+        host->sim()->current_thread()->Charge(host->prof()->trap);
+      },
       [host](size_t) { host->sim()->current_thread()->Charge(host->prof()->trap); },
   };
 }

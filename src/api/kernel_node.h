@@ -53,6 +53,11 @@ class KernelNode : public SocketApi {
   // kernel. May be null.
   void SetTracer(Tracer* tracer);
 
+  // User/kernel boundary crossings (one per socket-call trap). The in-kernel
+  // placement's analogue of an RPC count: it issues zero RPCs, so this is
+  // the denominator-side baseline for amplification comparisons.
+  uint64_t traps() const { return traps_; }
+
  private:
   friend class LibraryNode;  // shares the fd-table helpers
   Result<Socket*> Lookup(int fd);
@@ -68,6 +73,7 @@ class KernelNode : public SocketApi {
   // table (a pfd is not a socket).
   std::map<int, std::unique_ptr<PollSet>> polls_;
   int next_fd_ = 3;
+  uint64_t traps_ = 0;
 };
 
 // Applies placement-independent option plumbing shared by all nodes.

@@ -1,9 +1,11 @@
 #include "src/core/library_node.h"
 
 #include <cassert>
+#include <cstring>
 
 #include "src/api/kernel_node.h"
 #include "src/base/log.h"
+#include "src/obs/metastate.h"
 #include "src/obs/stats.h"
 #include "src/obs/trace.h"
 
@@ -119,6 +121,7 @@ IpcMessage ProtocolLibrary::Call(ProxyOp op, uint64_t sid, std::vector<uint8_t> 
   // Control-path proxy RPC into the OS server (the span covers the trap,
   // the send leg, and the blocked wait for the reply).
   TraceSpan span(tracer_, host_->sim(), ProxyOpName(op), TraceLayer::kCore, sid);
+  rpc_calls_.Count(ProxyOpSlot(static_cast<uint32_t>(op)));
   self->Charge(host_->prof()->trap);
   Port reply(host_->sim(), host_->prof(), name_ + "/reply");
   reply.SetTracer(tracer_);
@@ -133,6 +136,7 @@ IpcMessage ProtocolLibrary::Call(ProxyOp op, uint64_t sid, std::vector<uint8_t> 
 }
 
 void ProtocolLibrary::Notify(ProxyOp op, uint64_t sid, uint64_t a2) {
+  rpc_calls_.Count(ProxyOpSlot(static_cast<uint32_t>(op)));
   IpcMessage req;
   req.kind = static_cast<uint32_t>(op);
   req.arg[1] = sid;
@@ -147,10 +151,12 @@ MacResolver::Status ProtocolLibrary::CacheResolver::Resolve(Ipv4Addr next_hop, M
   auto it = cache_.find(next_hop);
   if (it != cache_.end()) {
     lib_->arp_hits_++;
+    MetastateLedger::Get().Count(MetaEvent::kArpHit);
     *out = it->second;
     return Status::kResolved;
   }
   lib_->arp_misses_++;
+  MetastateLedger::Get().Count(MetaEvent::kArpMiss);
   IpcMessage rep = lib_->Call(ProxyOp::kProxyArpLookup, 0, {}, next_hop.v);
   if (rep.arg[0] != 0 || rep.payload.size() != 6) {
     return Status::kFail;
@@ -165,6 +171,7 @@ MacResolver::Status ProtocolLibrary::CacheResolver::Resolve(Ipv4Addr next_hop, M
 void ProtocolLibrary::InvalidateArpEntry(Ipv4Addr ip) {
   DomainLock lock(stack_->sync());
   invalidations_++;
+  MetastateLedger::Get().Count(MetaEvent::kArpInvalidate);
   resolver_.cache_.erase(ip);
 }
 
@@ -186,6 +193,14 @@ void ProtocolLibrary::ExportStats(StatsRegistry* reg, const std::string& prefix)
   reg->RegisterGauge(prefix + "arp_cache_hits", [this] { return arp_hits_; });
   reg->RegisterGauge(prefix + "arp_cache_misses", [this] { return arp_misses_; });
   reg->RegisterGauge(prefix + "invalidations", [this] { return invalidations_; });
+  reg->RegisterGauge(prefix + "rpc.total", [this] { return rpc_calls_.total(); });
+  for (int i = 0; i < kNumProxyOpSlots; i++) {
+    const char* name = ProxyOpName(ProxyOpFromSlot(i));
+    const char* leaf = std::strchr(name, '/');
+    leaf = leaf != nullptr ? leaf + 1 : name;
+    reg->RegisterGauge(prefix + "rpc." + leaf + ".count",
+                       [this, i] { return rpc_calls_.count(static_cast<size_t>(i)); });
+  }
   stack_->ExportStats(reg, prefix + "stack.");
 }
 
@@ -299,7 +314,10 @@ Result<int> LibraryNode::Accept(int fd, SockAddrIn* peer) {
   }
   // proxy_accept: the server completes the handshake and the established
   // session migrates to us (Table 1).
+  Simulator* sim = lib_->host()->sim();
+  SimTime rpc_begin = sim->Now();
   IpcMessage rep = lib_->Call(ProxyOp::kProxyAccept, d->sid);
+  SimTime rpc_end = sim->Now();
   if (rep.arg[0] != 0) {
     return static_cast<Err>(rep.arg[0]);
   }
@@ -323,6 +341,7 @@ Result<int> LibraryNode::Accept(int fd, SockAddrIn* peer) {
   }
   std::unique_ptr<Socket> sock = std::make_unique<Socket>(stack, pcb);
   stack->Kick();
+  RecordAdoptPhases(rep.arg[1], rpc_begin, rpc_end, sim->Now());
   int nfd = next_fd_++;
   Desc& child = fds_[nfd];
   child.sid = rep.arg[1];
@@ -346,7 +365,10 @@ Result<void> LibraryNode::Connect(int fd, SockAddrIn remote) {
     }
     return OkResult();
   }
+  Simulator* sim = lib_->host()->sim();
+  SimTime rpc_begin = sim->Now();
   IpcMessage rep = lib_->Call(ProxyOp::kProxyConnect, d->sid, e.Take());
+  SimTime rpc_end = sim->Now();
   if (rep.arg[0] != 0) {
     return static_cast<Err>(rep.arg[0]);
   }
@@ -383,7 +405,26 @@ Result<void> LibraryNode::Connect(int fd, SockAddrIn remote) {
   }
   d->sock = std::make_unique<Socket>(stack, pcb);
   stack->Kick();
+  RecordAdoptPhases(d->sid, rpc_begin, rpc_end, sim->Now());
   return OkResult();
+}
+
+void LibraryNode::RecordAdoptPhases(uint64_t sid, SimTime rpc_begin, SimTime rpc_end,
+                                    SimTime resume_end) {
+  // Client half of the migration taxonomy: `transfer` is the observed
+  // proxy-RPC round trip carrying the encoded state (it overlaps the
+  // server's freeze/install/encode phases by design); `resume` is the local
+  // adopt plus restart of the transmit machinery.
+  MetastateLedger& meta = MetastateLedger::Get();
+  meta.RecordPhase(MigrationPhase::kTransfer, rpc_end - rpc_begin);
+  meta.RecordPhase(MigrationPhase::kResume, resume_end - rpc_end);
+  Tracer* tracer = lib_->tracer();
+  if (tracer != nullptr) {
+    Simulator* sim = lib_->host()->sim();
+    tracer->Emit(sim, "migrate/transfer", TraceLayer::kCore, -1, rpc_begin, rpc_end - rpc_begin,
+                 sid);
+    tracer->Emit(sim, "migrate/resume", TraceLayer::kCore, -1, rpc_end, resume_end - rpc_end, sid);
+  }
 }
 
 Result<size_t> LibraryNode::FwdSend(Desc* d, const uint8_t* data, size_t len,
@@ -548,6 +589,57 @@ Result<void> LibraryNode::ReturnSession(Desc* d, bool close_after) {
   if (rep.arg[0] != 0) {
     return static_cast<Err>(rep.arg[0]);
   }
+  return OkResult();
+}
+
+Result<void> LibraryNode::ReturnToServer(int fd) {
+  Result<Desc*> dr = Lookup(fd);
+  if (!dr.ok()) {
+    return dr.error();
+  }
+  Desc* d = *dr;
+  if (d->sock == nullptr) {
+    return Err::kInval;  // already server-managed
+  }
+  return ReturnSession(d, /*close_after=*/false);
+}
+
+Result<void> LibraryNode::Reacquire(int fd) {
+  Result<Desc*> dr = Lookup(fd);
+  if (!dr.ok()) {
+    return dr.error();
+  }
+  Desc* d = *dr;
+  if (d->sock != nullptr || d->proto != IpProto::kTcp) {
+    return Err::kInval;
+  }
+  Simulator* sim = lib_->host()->sim();
+  SimTime rpc_begin = sim->Now();
+  IpcMessage rep = lib_->Call(ProxyOp::kProxyReacquire, d->sid);
+  SimTime rpc_end = sim->Now();
+  if (rep.arg[0] != 0) {
+    return static_cast<Err>(rep.arg[0]);
+  }
+  Decoder dec(rep.payload);
+  SockAddrIn local = DecodeAddr(&dec);
+  SockAddrIn remote = DecodeAddr(&dec);
+  (void)local;
+  (void)remote;
+  std::vector<uint8_t> state_bytes = dec.Bytes();
+  Result<TcpMigrationState> st = TcpMigrationState::Decode(state_bytes);
+  if (!st.ok()) {
+    return st.error();
+  }
+  Stack* stack = lib_->stack();
+  TcpPcb* pcb = nullptr;
+  {
+    DomainLock lock(stack->sync());
+    pcb = stack->tcp().AdoptMigrated(*st);
+  }
+  d->sock = std::make_unique<Socket>(stack, pcb);
+  d->via_server = false;
+  stack->Kick();
+  RecordAdoptPhases(d->sid, rpc_begin, rpc_end, sim->Now());
   return OkResult();
 }
 

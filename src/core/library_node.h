@@ -17,6 +17,7 @@
 
 #include "src/api/socket_api.h"
 #include "src/core/net_server.h"
+#include "src/obs/rpc_account.h"
 
 namespace psd {
 
@@ -72,6 +73,11 @@ class ProtocolLibrary : public MetastateSubscriber {
   uint64_t arp_cache_misses() const { return arp_misses_; }
   uint64_t invalidations() const { return invalidations_; }
   PacketQueue* ring() { return ring_; }
+  Tracer* tracer() const { return tracer_; }
+  // Client-side proxy-RPC accounting: every Call/Notify this library issued,
+  // by op slot. The ratio of this total to connections handled is the
+  // placement's RPC amplification.
+  const RpcClientCounter& rpc_calls() const { return rpc_calls_; }
 
  private:
   class CacheResolver : public MacResolver {
@@ -102,6 +108,7 @@ class ProtocolLibrary : public MetastateSubscriber {
   uint64_t arp_hits_ = 0;
   uint64_t arp_misses_ = 0;
   uint64_t invalidations_ = 0;
+  RpcClientCounter rpc_calls_{static_cast<size_t>(kNumProxyOpSlots)};
 };
 
 class LibraryNode : public SocketApi {
@@ -145,6 +152,16 @@ class LibraryNode : public SocketApi {
   // continue through the server.
   Result<std::unique_ptr<LibraryNode>> Fork(ProtocolLibrary* child_lib);
 
+  // --- live migration (measurement hooks for the shared-metastate
+  // observatory) ---
+  // Returns an app-managed session to the OS server without closing it; the
+  // descriptor keeps working through forwarded ops until Reacquire.
+  Result<void> ReturnToServer(int fd);
+  // Live-migrates a previously returned session back into this application:
+  // proxy_reacquire extracts it from the server mid-flight and the library
+  // adopts the encoded TCP state. Records transfer/resume migration phases.
+  Result<void> Reacquire(int fd);
+
   ProtocolLibrary* library() { return lib_; }
   // True if fd exists and its session currently lives in the application.
   bool IsAppManaged(int fd) const;
@@ -159,6 +176,9 @@ class LibraryNode : public SocketApi {
 
   Result<Desc*> Lookup(int fd);
   Result<void> ReturnSession(Desc* d, bool close_after);
+  // Records the client half of a migration: `transfer` (the proxy-RPC round
+  // trip that carried the encoded state) and `resume` (local adopt + kick).
+  void RecordAdoptPhases(uint64_t sid, SimTime rpc_begin, SimTime rpc_end, SimTime resume_end);
   Result<size_t> FwdSend(Desc* d, const uint8_t* data, size_t len, const SockAddrIn* to);
   Result<size_t> FwdRecv(Desc* d, uint8_t* out, size_t len, SockAddrIn* from, bool peek);
 

@@ -1,11 +1,13 @@
 #include "src/core/net_server.h"
 
 #include <cassert>
+#include <cstring>
 
 #include "src/api/kernel_node.h"
 #include "src/base/log.h"
 #include "src/filter/session_filter.h"
 #include "src/obs/journey.h"
+#include "src/obs/metastate.h"
 #include "src/obs/stats.h"
 #include "src/obs/trace.h"
 
@@ -60,9 +62,12 @@ NetServer::NetServer(SimHost* host, int workers)
       host->sim()->Spawn(host->name() + "/ns-in", host->cpu(), [this] { InputBody(); }));
   threads_.push_back(
       host->sim()->Spawn(host->name() + "/ns-cb", host->cpu(), [this] { CallbackBody(); }));
+  worker_rpc_.reserve(static_cast<size_t>(workers));
   for (int i = 0; i < workers; i++) {
+    worker_rpc_.emplace_back(static_cast<size_t>(kNumProxyOpSlots));
+    size_t idx = static_cast<size_t>(i);
     threads_.push_back(host->sim()->Spawn(host->name() + "/ns-w" + std::to_string(i),
-                                          host->cpu(), [this] { WorkerBody(); }));
+                                          host->cpu(), [this, idx] { WorkerBody(idx); }));
   }
 }
 
@@ -88,7 +93,27 @@ void NetServer::ExportStats(StatsRegistry* reg, const std::string& prefix) const
   reg->RegisterGauge(prefix + "migrations_out", [this] { return migrations_out_; });
   reg->RegisterGauge(prefix + "migrations_in", [this] { return migrations_in_; });
   reg->RegisterGauge(prefix + "arp_callbacks_sent", [this] { return arp_callbacks_sent_; });
-  stack_->ExportStats(reg, prefix + "stack.");
+  reg->RegisterGauge(prefix + "rpc.total", [this] {
+    uint64_t n = 0;
+    for (const RpcOpRecorder& r : worker_rpc_) {
+      n += r.total_count();
+    }
+    return n;
+  });
+  for (int slot = 0; slot < kNumProxyOpSlots; slot++) {
+    // "proxy/accept" -> "<prefix>rpc.accept.count".
+    const char* name = ProxyOpName(ProxyOpFromSlot(slot));
+    const char* slash = std::strchr(name, '/');
+    std::string leaf = slash != nullptr ? slash + 1 : name;
+    size_t i = static_cast<size_t>(slot);
+    reg->RegisterGauge(prefix + "rpc." + leaf + ".count", [this, i] {
+      uint64_t n = 0;
+      for (const RpcOpRecorder& r : worker_rpc_) {
+        n += r.op(i).count;
+      }
+      return n;
+    });
+  }
 }
 
 uint64_t NetServer::RegisterLibrary(DeliveryEndpoint endpoint, MetastateSubscriber* subscriber) {
@@ -128,17 +153,31 @@ void NetServer::CallbackBody() {
   }
 }
 
-void NetServer::WorkerBody() {
+void NetServer::WorkerBody(size_t idx) {
+  RpcOpRecorder& rec = worker_rpc_[idx];
   IpcMessage msg;
   for (;;) {
     if (!control_port_.Receive(&msg)) {
       continue;
     }
+    SimTime start = host_->sim()->Now();
+    SimDuration queue_wait = msg.enqueued_at > 0 ? start - msg.enqueued_at : 0;
+    uint64_t bytes_in = msg.payload.size();
     IpcMessage reply = Handle(msg);
+    rec.Record(ProxyOpSlot(msg.kind), bytes_in, reply.payload.size(), queue_wait,
+               host_->sim()->Now() - start);
     if (msg.reply_port != nullptr) {
       msg.reply_port->Send(std::move(reply));
     }
   }
+}
+
+RpcOpRecorder NetServer::MergedRpcStats() const {
+  RpcOpRecorder merged(static_cast<size_t>(kNumProxyOpSlots));
+  for (const RpcOpRecorder& r : worker_rpc_) {
+    merged.Merge(r);
+  }
+  return merged;
 }
 
 Result<NetServer::Session*> NetServer::Find(uint64_t sid) {
@@ -174,10 +213,14 @@ std::vector<uint8_t> NetServer::MigrateTcpOut(Session* s) {
   // the application before extracting the state, so nothing arriving during
   // the handover is answered with a stale RST by the server stack; anything
   // lost in flight is recovered by normal retransmission (§3.1).
+  Simulator* sim = host_->sim();
+  SimTime t0 = sim->Now();
   TcpPcb* pcb = s->sock->DetachTcpPcb();
   s->tuple = SessionTuple{IpProto::kTcp, pcb->local, pcb->remote};
   suppressed_.insert(TupleKey(pcb->local, pcb->remote));
+  SimTime t1 = sim->Now();
   InstallSessionFilter(s);
+  SimTime t2 = sim->Now();
   TcpMigrationState st;
   {
     DomainLock lock(stack_->sync());
@@ -186,11 +229,26 @@ std::vector<uint8_t> NetServer::MigrateTcpOut(Session* s) {
   }
   s->sock.reset();
   s->where = Where::kApp;
+  SimTime t3 = sim->Now();
+  std::vector<uint8_t> enc = st.Encode();
+  SimTime t4 = sim->Now();
+  // Phase accounting: freeze is detach+suppress plus the locked extraction
+  // (the install sits between the two chunks and is ledgered on its own).
+  MetastateLedger& meta = MetastateLedger::Get();
+  meta.RecordPhase(MigrationPhase::kFreeze, (t1 - t0) + (t3 - t2));
+  meta.RecordPhase(MigrationPhase::kInstall, t2 - t1);
+  meta.RecordPhase(MigrationPhase::kEncode, t4 - t3);
+  meta.Count(MetaEvent::kMigrationOut);
   migrations_out_++;
   if (tracer_ != nullptr && tracer_->enabled()) {
-    tracer_->Instant(host_->sim(), "migrate/out", TraceLayer::kCore, s->filter_id);
+    // The freeze span encloses the nested install span (contiguous
+    // interval); the freeze histogram above excludes it.
+    tracer_->Emit(sim, "migrate/freeze", TraceLayer::kCore, -1, t0, t3 - t0, s->filter_id);
+    tracer_->Emit(sim, "migrate/install", TraceLayer::kCore, -1, t1, t2 - t1, s->filter_id);
+    tracer_->Emit(sim, "migrate/encode", TraceLayer::kCore, -1, t3, t4 - t3, s->filter_id);
+    tracer_->Instant(sim, "migrate/out", TraceLayer::kCore, s->filter_id);
   }
-  return st.Encode();
+  return enc;
 }
 
 IpcMessage NetServer::Handle(const IpcMessage& req) {
@@ -241,6 +299,8 @@ IpcMessage NetServer::Handle(const IpcMessage& req) {
     case ProxyOp::kProxyArpLookup:
     case ProxyOp::kProxyRouteLookup:
       return HandleMetastate(req);
+    case ProxyOp::kProxyReacquire:
+      return HandleReacquire(req);
     default:
       return HandleForwarded(req);
   }
@@ -304,6 +364,7 @@ IpcMessage NetServer::HandleBind(const IpcMessage& req) {
   s->where = Where::kApp;
   InstallSessionFilter(s);
   migrations_out_++;
+  MetastateLedger::Get().Count(MetaEvent::kMigrationOut);
   Encoder e;
   EncodeAddr(&e, local);
   reply.payload = e.Take();
@@ -335,6 +396,7 @@ IpcMessage NetServer::HandleConnect(const IpcMessage& req) {
       s->tuple.local = SockAddrIn{host_->ip(), *port};
       s->where = Where::kApp;
       migrations_out_++;
+      MetastateLedger::Get().Count(MetaEvent::kMigrationOut);
     }
     s->tuple.remote = remote;
     InstallSessionFilter(s);
@@ -428,6 +490,7 @@ IpcMessage NetServer::HandleReturn(const IpcMessage& req) {
         reply.arg[0] = static_cast<uint64_t>(st.error());
         return reply;
       }
+      SimTime resume_start = host_->sim()->Now();
       TcpPcb* pcb = nullptr;
       {
         DomainLock lock(stack_->sync());
@@ -440,7 +503,12 @@ IpcMessage NetServer::HandleReturn(const IpcMessage& req) {
       s->sock = std::make_unique<Socket>(stack_.get(), pcb);
       stack_->Kick();
       migrations_in_++;
+      MetastateLedger& meta = MetastateLedger::Get();
+      meta.Count(MetaEvent::kMigrationIn);
+      meta.RecordPhase(MigrationPhase::kResume, host_->sim()->Now() - resume_start);
       if (tracer_ != nullptr && tracer_->enabled()) {
+        tracer_->Emit(host_->sim(), "migrate/resume", TraceLayer::kCore, -1, resume_start,
+                      host_->sim()->Now() - resume_start, req.arg[1]);
         tracer_->Instant(host_->sim(), "migrate/in", TraceLayer::kCore, req.arg[1]);
       }
     } else {
@@ -454,6 +522,7 @@ IpcMessage NetServer::HandleReturn(const IpcMessage& req) {
       }
       s->sock = std::make_unique<Socket>(stack_.get(), pcb);
       migrations_in_++;
+      MetastateLedger::Get().Count(MetaEvent::kMigrationIn);
     }
     s->where = Where::kServer;
   }
@@ -471,6 +540,34 @@ IpcMessage NetServer::HandleReturn(const IpcMessage& req) {
       sessions_.erase(req.arg[1]);
     }
   }
+  return reply;
+}
+
+IpcMessage NetServer::HandleReacquire(const IpcMessage& req) {
+  // Live migration back out to the owner application: the mirror of
+  // HandleAccept/HandleConnect's migrate-on-establish, but for a session
+  // the app previously returned (kProxyReturn without close). The session
+  // must be server-resident TCP with a live pcb; the reply carries the same
+  // local/remote/state triple the accept path uses, so the library adopts
+  // it with the same decode.
+  IpcMessage reply;
+  Result<Session*> sr = Find(req.arg[1]);
+  if (!sr.ok()) {
+    reply.arg[0] = static_cast<uint64_t>(sr.error());
+    return reply;
+  }
+  Session* s = *sr;
+  if (s->proto != IpProto::kTcp || s->where != Where::kServer || s->sock == nullptr ||
+      s->sock->tcp_pcb() == nullptr) {
+    reply.arg[0] = static_cast<uint64_t>(Err::kInval);
+    return reply;
+  }
+  std::vector<uint8_t> state = MigrateTcpOut(s);
+  Encoder e;
+  EncodeAddr(&e, s->tuple.local);
+  EncodeAddr(&e, s->tuple.remote);
+  e.Bytes(state);
+  reply.payload = e.Take();
   return reply;
 }
 

@@ -24,6 +24,7 @@
 #include "src/core/proxy_protocol.h"
 #include "src/ipc/port.h"
 #include "src/kern/host.h"
+#include "src/obs/rpc_account.h"
 #include "src/sock/select.h"
 #include "src/sock/socket.h"
 
@@ -57,6 +58,9 @@ class NetServer {
   // Registers server counters (migrations, callbacks, sessions) plus the
   // server stack's protocol counters under "<prefix>...".
   void ExportStats(StatsRegistry* reg, const std::string& prefix) const;
+
+  // Per-op proxy-RPC accounting: all worker recorders folded into one.
+  RpcOpRecorder MergedRpcStats() const;
 
   // Suppression key for tuples whose pcb is app-managed or in handover: all
   // four endpoint fields. (A 64-bit pack of only {local port, remote port,
@@ -109,7 +113,7 @@ class NetServer {
   };
 
   void InputBody();
-  void WorkerBody();
+  void WorkerBody(size_t idx);
   void CallbackBody();
   IpcMessage Handle(const IpcMessage& req);
 
@@ -128,6 +132,7 @@ class NetServer {
   IpcMessage HandleListen(const IpcMessage& req);
   IpcMessage HandleAccept(const IpcMessage& req);
   IpcMessage HandleReturn(const IpcMessage& req);
+  IpcMessage HandleReacquire(const IpcMessage& req);
   IpcMessage HandleSelect(const IpcMessage& req);
   IpcMessage HandleMetastate(const IpcMessage& req);
   IpcMessage HandleForwarded(const IpcMessage& req);
@@ -158,6 +163,8 @@ class NetServer {
   uint64_t migrations_out_ = 0;
   uint64_t migrations_in_ = 0;
   uint64_t arp_callbacks_sent_ = 0;
+  // One per worker fiber (single-writer recording), merged at export.
+  std::vector<RpcOpRecorder> worker_rpc_;
 };
 
 }  // namespace psd

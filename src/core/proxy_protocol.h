@@ -28,6 +28,8 @@ enum class ProxyOp : uint32_t {
   // Shared metastate (§3.3).
   kProxyArpLookup,
   kProxyRouteLookup,
+  kProxyReacquire,     // live-migrate a returned session back to the app
+  kProxyTableEnd,      // sentinel: one past the last Table-1/metastate op
   // Forwarded socket ops for server-managed sessions (after fork/return).
   kProxyFwdSend = 200,
   kProxyFwdRecv,
@@ -39,7 +41,37 @@ enum class ProxyOp : uint32_t {
   kProxyFwdListen,
   kProxyFwdConnect,
   kProxyFwdBind,
+  kProxyFwdEnd,        // sentinel: one past the last forwarded op
 };
+
+// Dense slot layout for RpcOpRecorder indexing: the Table-1/metastate block
+// first, then the forwarded block.
+inline constexpr uint32_t kProxyTableBase = 100;
+inline constexpr uint32_t kProxyFwdBase = 200;
+inline constexpr int kProxyTableSlots =
+    static_cast<int>(static_cast<uint32_t>(ProxyOp::kProxyTableEnd) - kProxyTableBase);
+inline constexpr int kProxyFwdSlots =
+    static_cast<int>(static_cast<uint32_t>(ProxyOp::kProxyFwdEnd) - kProxyFwdBase);
+inline constexpr int kNumProxyOpSlots = kProxyTableSlots + kProxyFwdSlots;
+
+// Recorder slot for a request-message kind; -1 if not a ProxyOp.
+inline int ProxyOpSlot(uint32_t kind) {
+  if (kind >= kProxyTableBase && kind < kProxyTableBase + static_cast<uint32_t>(kProxyTableSlots)) {
+    return static_cast<int>(kind - kProxyTableBase);
+  }
+  if (kind >= kProxyFwdBase && kind < kProxyFwdBase + static_cast<uint32_t>(kProxyFwdSlots)) {
+    return kProxyTableSlots + static_cast<int>(kind - kProxyFwdBase);
+  }
+  return -1;
+}
+
+// Inverse of ProxyOpSlot.
+inline ProxyOp ProxyOpFromSlot(int slot) {
+  if (slot < kProxyTableSlots) {
+    return static_cast<ProxyOp>(kProxyTableBase + static_cast<uint32_t>(slot));
+  }
+  return static_cast<ProxyOp>(kProxyFwdBase + static_cast<uint32_t>(slot - kProxyTableSlots));
+}
 
 // Stable span/diagnostic name for a proxy operation.
 inline const char* ProxyOpName(ProxyOp op) {
@@ -66,6 +98,8 @@ inline const char* ProxyOpName(ProxyOp op) {
       return "proxy/arp_lookup";
     case ProxyOp::kProxyRouteLookup:
       return "proxy/route_lookup";
+    case ProxyOp::kProxyReacquire:
+      return "proxy/reacquire";
     case ProxyOp::kProxyFwdSend:
       return "proxy/fwd_send";
     case ProxyOp::kProxyFwdRecv:
@@ -86,6 +120,9 @@ inline const char* ProxyOpName(ProxyOp op) {
       return "proxy/fwd_connect";
     case ProxyOp::kProxyFwdBind:
       return "proxy/fwd_bind";
+    case ProxyOp::kProxyTableEnd:
+    case ProxyOp::kProxyFwdEnd:
+      break;
   }
   return "proxy/?";
 }

@@ -4,6 +4,7 @@
 
 #include "src/base/bytes.h"
 #include "src/base/log.h"
+#include "src/obs/metastate.h"
 
 namespace psd {
 
@@ -24,8 +25,10 @@ MacResolver::Status ArpLayer::Resolve(Ipv4Addr next_hop, MacAddr* out, Chain* pe
   Entry& e = table_[next_hop];
   if (e.resolved && env_->Now() < e.expires) {
     *out = e.mac;
+    MetastateLedger::Get().Count(MetaEvent::kArpHit);
     return Status::kResolved;
   }
+  MetastateLedger::Get().Count(MetaEvent::kArpMiss);
   if (static_cast<int>(e.hold.size()) >= kMaxHold) {
     return Status::kFail;
   }
@@ -53,6 +56,7 @@ void ArpLayer::SendRequest(Ipv4Addr target) {
   Store32(pkt + 24, target.v);
   c.Append(pkt, kArpLen);
   requests_sent_++;
+  MetastateLedger::Get().Count(MetaEvent::kArpRequest);
   ether_->OutputRaw(MacAddr::Broadcast(), kEtherTypeArp, std::move(c));
 }
 
@@ -70,6 +74,7 @@ void ArpLayer::SendReply(Ipv4Addr target_ip, MacAddr target_mac) {
   Store32(pkt + 24, target_ip.v);
   c.Append(pkt, kArpLen);
   replies_sent_++;
+  MetastateLedger::Get().Count(MetaEvent::kArpReply);
   ether_->OutputRaw(target_mac, kEtherTypeArp, std::move(c));
 }
 
@@ -98,6 +103,9 @@ void ArpLayer::Input(Chain payload) {
   e.requesting = false;
   e.expires = env_->Now() + kEntryTtl;
   if (changed) {
+    // An unsolicited update that rewrites a cached MAC is the gratuitous
+    // case every cached copy must hear about (3.3).
+    MetastateLedger::Get().Count(MetaEvent::kArpGratuitous);
     EntryChanged(sender_ip);
   }
   // Transmit anything held for this address.
@@ -136,12 +144,20 @@ void ArpLayer::SlowTick() {
 
 Result<MacAddr> ArpLayer::ResolveBlocking(Ipv4Addr ip, SimDuration timeout) {
   SimTime deadline = env_->Now() + timeout;
+  bool first_pass = true;
   for (;;) {
     auto it = table_.find(ip);
     if (it != table_.end() && it->second.resolved && env_->Now() < it->second.expires) {
+      if (first_pass) {
+        // Only an immediate answer is a cache hit; resolving after a
+        // request already counted as the miss.
+        MetastateLedger::Get().Count(MetaEvent::kArpHit);
+      }
       return it->second.mac;
     }
+    first_pass = false;
     if (it == table_.end() || (!it->second.resolved && !it->second.requesting)) {
+      MetastateLedger::Get().Count(MetaEvent::kArpMiss);
       Entry& e = table_[ip];
       e.requesting = true;
       e.retries = 0;

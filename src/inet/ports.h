@@ -11,6 +11,7 @@
 #include <set>
 
 #include "src/base/result.h"
+#include "src/obs/metastate.h"
 
 namespace psd {
 
@@ -25,6 +26,7 @@ class PortAlloc {
         return Err::kAddrInUse;
       }
       used_.insert(want);
+      MetastateLedger::Get().Count(MetaEvent::kPortAcquire);
       return want;
     }
     for (int i = 0; i < 65536 - kFirstEphemeral; i++) {
@@ -32,13 +34,18 @@ class PortAlloc {
       next_ephemeral_ = next_ephemeral_ == 65535 ? kFirstEphemeral : next_ephemeral_ + 1;
       if (!used_.count(p)) {
         used_.insert(p);
+        MetastateLedger::Get().Count(MetaEvent::kPortAcquire);
         return p;
       }
     }
     return Err::kAddrNotAvail;
   }
 
-  void Release(uint16_t port) { used_.erase(port); }
+  void Release(uint16_t port) {
+    if (used_.erase(port) > 0) {
+      MetastateLedger::Get().Count(MetaEvent::kPortRelease);
+    }
+  }
   bool InUse(uint16_t port) const { return used_.count(port) > 0; }
   size_t count() const { return used_.size(); }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/inet/addr.h"
+#include "src/obs/metastate.h"
 
 namespace psd {
 
@@ -35,6 +36,7 @@ struct RouteEntry {
 class RouteTable {
  public:
   void Add(Ipv4Addr dest, Ipv4Addr mask, Ipv4Addr gateway) {
+    MetastateLedger::Get().Count(MetaEvent::kRouteInstall);
     generation_++;
     entries_.push_back(RouteEntry{dest, mask, gateway, generation_});
     std::stable_sort(entries_.begin(), entries_.end(),
@@ -60,20 +62,24 @@ class RouteTable {
   // Next hop for `dst`: the gateway if routed, `dst` itself if directly
   // attached, nullopt if unreachable.
   std::optional<Ipv4Addr> NextHop(Ipv4Addr dst) const {
+    MetastateLedger::Get().Count(MetaEvent::kRouteLookup);
     for (const RouteEntry& e : entries_) {
       if (e.Matches(dst)) {
         return e.gateway.IsAny() ? dst : e.gateway;
       }
     }
+    MetastateLedger::Get().Count(MetaEvent::kRouteMiss);
     return std::nullopt;
   }
 
   std::optional<RouteEntry> Lookup(Ipv4Addr dst) const {
+    MetastateLedger::Get().Count(MetaEvent::kRouteLookup);
     for (const RouteEntry& e : entries_) {
       if (e.Matches(dst)) {
         return e;
       }
     }
+    MetastateLedger::Get().Count(MetaEvent::kRouteMiss);
     return std::nullopt;
   }
 

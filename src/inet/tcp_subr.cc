@@ -6,6 +6,7 @@
 #include "src/base/bytes.h"
 #include "src/base/log.h"
 #include "src/inet/tcp.h"
+#include "src/obs/metastate.h"
 
 namespace psd {
 
@@ -81,6 +82,7 @@ void TcpLayer::Destroy(TcpPcb* pcb) {
     }
     if (heir != nullptr) {
       heir->port_owned = true;
+      MetastateLedger::Get().Count(MetaEvent::kPortTransfer);
     } else {
       ports_->Release(pcb->local.port);
     }

@@ -20,6 +20,7 @@ void Port::Send(IpcMessage msg) {
 }
 
 void Port::SendUncharged(IpcMessage msg) {
+  msg.enqueued_at = sim_->Now();
   queue_.push_back(std::move(msg));
   messages_sent_++;
   nonempty_.NotifyOne();
@@ -55,6 +56,7 @@ bool Port::Receive(IpcMessage* out, SimTime deadline) {
   }
   out->reply_port = head.reply_port;
   out->payload = std::vector<uint8_t>(head.payload.begin(), head.payload.end());
+  out->enqueued_at = head.enqueued_at;
   return true;
 }
 

@@ -33,6 +33,10 @@ struct IpcMessage {
   std::vector<uint8_t> payload;
   // Reply port capability (unforgeable in-simulation reference).
   class Port* reply_port = nullptr;
+  // Virtual time the message entered its destination queue (stamped by
+  // Port::SendUncharged, so every send path carries it). Receivers compute
+  // queue wait as Now() - enqueued_at; 0 means "never enqueued".
+  SimTime enqueued_at = 0;
 };
 
 // Per-hop charging for a port. Two cost classes exist:

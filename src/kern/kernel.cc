@@ -4,6 +4,7 @@
 
 #include "src/base/log.h"
 #include "src/obs/journey.h"
+#include "src/obs/metastate.h"
 #include "src/obs/pcap.h"
 #include "src/obs/stats.h"
 #include "src/obs/trace.h"
@@ -33,13 +34,16 @@ uint64_t Kernel::InstallFilter(FilterProgram prog, int priority, DeliveryEndpoin
                                 : engine_.Install(std::move(prog), priority);
   if (id != 0) {
     endpoints_[id] = ep;
+    MetastateLedger::Get().Count(MetaEvent::kFilterInstall);
   }
   return id;
 }
 
 void Kernel::RemoveFilter(uint64_t id) {
   engine_.Remove(id);
-  endpoints_.erase(id);
+  if (endpoints_.erase(id) > 0) {
+    MetastateLedger::Get().Count(MetaEvent::kFilterRemove);
+  }
 }
 
 PacketQueue* Kernel::MakeQueueEndpoint(std::string name, SimDuration signal_cost,

@@ -75,6 +75,23 @@ SimDuration LatencyHistogram::Quantile(double q) const {
   return max_;
 }
 
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0 || other.min_ < min_) {
+    min_ = other.min_;
+  }
+  if (other.max_ > max_) {
+    max_ = other.max_;
+  }
+  for (int i = 0; i < kBuckets; i++) {
+    buckets_[static_cast<size_t>(i)] += other.buckets_[static_cast<size_t>(i)];
+  }
+  count_ += other.count_;
+  total_ += other.total_;
+}
+
 void LatencyHistogram::Reset() {
   buckets_ = {};
   count_ = 0;

@@ -51,6 +51,12 @@ class LatencyHistogram {
   uint64_t bucket(int i) const { return buckets_[static_cast<size_t>(i)]; }
   void Reset();
 
+  // Folds `other` into this histogram as if every sample had been recorded
+  // here. Bucket counts add exactly; min/max/total merge exactly; only
+  // quantiles keep the usual bucket-resolution error. Used to combine
+  // per-worker RPC recorders at export time.
+  void Merge(const LatencyHistogram& other);
+
   // Human-readable summary: a count/mean/p50/p90/p99 line plus one row per
   // non-empty bucket, each prefixed with `indent`.
   std::string Dump(const std::string& indent = "") const;

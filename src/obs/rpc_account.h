@@ -1,0 +1,141 @@
+// Per-op RPC cost accounting.
+//
+// The decomposed placements turn socket calls into messages: the UX server
+// placement sends every socket op across a Mach-style RPC, and the library
+// placements still call the OS server for the shared-metastate ops (bind,
+// connect, accept handover, ARP/route misses, session return). Table 2's
+// "RPC overhead" row is a single number; deciding which ops dominate needs
+// per-op counts, payload bytes, and the split between *queue wait* (request
+// sat in the server port behind other requests — the contention signal) and
+// *service time* (the handler itself, including any blocking the op implies:
+// kPollWait/kAccept service time contains the parked wait, which IS the
+// placement's notification path).
+//
+// Two sides:
+//  * RpcOpRecorder    — server side, indexed by op slot. One recorder per
+//                       worker fiber (recording is single-writer by
+//                       construction), merged via Merge() on export.
+//  * RpcClientCounter — client side, per-op call counts in the placement's
+//                       API layer, so RPCs-per-connection amplification can
+//                       be computed without trusting the server's view.
+//
+// Virtual durations only; recording charges no simulated cost. Compiles out
+// under PSD_OBS_DISABLE_RPC_ACCOUNT (same discipline as the tracer and the
+// journey ledger).
+#ifndef PSD_SRC_OBS_RPC_ACCOUNT_H_
+#define PSD_SRC_OBS_RPC_ACCOUNT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/time.h"
+#include "src/obs/histogram.h"
+
+namespace psd {
+
+// Per-op aggregate. `queue_wait` is enqueue -> dequeue at the server port;
+// `service` is dequeue -> reply ready.
+struct RpcOpStats {
+  uint64_t count = 0;
+  uint64_t bytes_in = 0;   // request payload bytes
+  uint64_t bytes_out = 0;  // reply payload bytes
+  LatencyHistogram queue_wait;
+  LatencyHistogram service;
+};
+
+#ifndef PSD_OBS_DISABLE_RPC_ACCOUNT
+
+class RpcOpRecorder {
+ public:
+  explicit RpcOpRecorder(size_t slots) : ops_(slots) {}
+
+  // `slot` out of range (an op the caller could not map) lands in unknown().
+  void Record(int slot, uint64_t bytes_in, uint64_t bytes_out, SimDuration queue_wait,
+              SimDuration service) {
+    if (slot < 0 || static_cast<size_t>(slot) >= ops_.size()) {
+      unknown_++;
+      return;
+    }
+    RpcOpStats& s = ops_[static_cast<size_t>(slot)];
+    s.count++;
+    s.bytes_in += bytes_in;
+    s.bytes_out += bytes_out;
+    s.queue_wait.Record(queue_wait);
+    s.service.Record(service);
+  }
+
+  // Folds `other` (same slot count) into this recorder.
+  void Merge(const RpcOpRecorder& other);
+
+  const RpcOpStats& op(size_t slot) const { return ops_[slot]; }
+  size_t slots() const { return ops_.size(); }
+  uint64_t total_count() const;
+  uint64_t unknown() const { return unknown_; }
+  void Reset();
+
+ private:
+  std::vector<RpcOpStats> ops_;
+  uint64_t unknown_ = 0;
+};
+
+class RpcClientCounter {
+ public:
+  explicit RpcClientCounter(size_t slots) : counts_(slots, 0) {}
+
+  void Count(int slot) {
+    total_++;
+    if (slot >= 0 && static_cast<size_t>(slot) < counts_.size()) {
+      counts_[static_cast<size_t>(slot)]++;
+    }
+  }
+
+  uint64_t count(size_t slot) const { return counts_[slot]; }
+  size_t slots() const { return counts_.size(); }
+  uint64_t total() const { return total_; }
+  void Reset();
+
+ private:
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+#else  // PSD_OBS_DISABLE_RPC_ACCOUNT
+
+// No-op stand-ins: same API, zero state. op() reads a shared empty slot.
+class RpcOpRecorder {
+ public:
+  explicit RpcOpRecorder(size_t slots) : slots_(slots) {}
+  void Record(int, uint64_t, uint64_t, SimDuration, SimDuration) {}
+  void Merge(const RpcOpRecorder&) {}
+  const RpcOpStats& op(size_t) const { return Empty(); }
+  size_t slots() const { return slots_; }
+  uint64_t total_count() const { return 0; }
+  uint64_t unknown() const { return 0; }
+  void Reset() {}
+
+ private:
+  static const RpcOpStats& Empty() {
+    static const RpcOpStats empty;
+    return empty;
+  }
+  size_t slots_;
+};
+
+class RpcClientCounter {
+ public:
+  explicit RpcClientCounter(size_t slots) : slots_(slots) {}
+  void Count(int) {}
+  uint64_t count(size_t) const { return 0; }
+  size_t slots() const { return slots_; }
+  uint64_t total() const { return 0; }
+  void Reset() {}
+
+ private:
+  size_t slots_;
+};
+
+#endif  // PSD_OBS_DISABLE_RPC_ACCOUNT
+
+}  // namespace psd
+
+#endif  // PSD_SRC_OBS_RPC_ACCOUNT_H_

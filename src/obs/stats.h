@@ -12,9 +12,11 @@
 #ifndef PSD_SRC_OBS_STATS_H_
 #define PSD_SRC_OBS_STATS_H_
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -29,9 +31,24 @@ class StatsRegistry {
 
   // Registers a named counter read through `fn` at Snapshot time. The
   // callback must outlive the registry's last Snapshot call.
-  void RegisterGauge(std::string name, std::function<uint64_t()> fn) {
+  //
+  // Names must be unique: a duplicate would produce colliding JSON keys in
+  // every snapshot consumer (psdstat --json, the time-series sampler), and
+  // which value wins is accidental. A duplicate registration asserts in
+  // debug builds; in release builds it is rejected (the first registration
+  // stays live) and counted in duplicates_rejected(). Returns whether the
+  // gauge was accepted.
+  bool RegisterGauge(std::string name, std::function<uint64_t()> fn) {
+    if (!names_.insert(name).second) {
+      assert(false && "StatsRegistry: duplicate gauge name");
+      duplicates_rejected_++;
+      return false;
+    }
     gauges_.emplace_back(std::move(name), std::move(fn));
+    return true;
   }
+
+  uint64_t duplicates_rejected() const { return duplicates_rejected_; }
 
   // Reads every registered counter. Entries are sorted by name.
   std::vector<Entry> Snapshot() const;
@@ -46,12 +63,18 @@ class StatsRegistry {
   // read freed memory. After Reset the registry is empty; the next run
   // re-registers via World::ExportStats and Snapshot sees only live
   // counters, never carry-over from a previous run.
-  void Reset() { gauges_.clear(); }
+  void Reset() {
+    gauges_.clear();
+    names_.clear();
+    duplicates_rejected_ = 0;
+  }
 
   size_t size() const { return gauges_.size(); }
 
  private:
   std::vector<std::pair<std::string, std::function<uint64_t()>>> gauges_;
+  std::unordered_set<std::string> names_;
+  uint64_t duplicates_rejected_ = 0;
 };
 
 }  // namespace psd

@@ -1,11 +1,13 @@
 #include "src/serv/ux_server.h"
 
 #include <cassert>
+#include <cstring>
 
 #include "src/api/kernel_node.h"
 #include "src/base/codec.h"
 #include "src/base/log.h"
 #include "src/filter/session_filter.h"
+#include "src/obs/stats.h"
 
 namespace psd {
 
@@ -50,9 +52,12 @@ UxServer::UxServer(SimHost* host, int workers)
                         DeliveryEndpoint{DeliverKind::kIpc, nullptr, &packet_port_});
   threads_.push_back(host->sim()->Spawn(host->name() + "/ux-in", host->cpu(),
                                         [this] { InputBody(); }));
+  worker_rpc_.reserve(static_cast<size_t>(workers));
   for (int i = 0; i < workers; i++) {
+    worker_rpc_.emplace_back(kNumServOps);
+    size_t idx = static_cast<size_t>(i);
     threads_.push_back(host->sim()->Spawn(host->name() + "/ux-w" + std::to_string(i),
-                                          host->cpu(), [this] { WorkerBody(); }));
+                                          host->cpu(), [this, idx] { WorkerBody(idx); }));
   }
 }
 
@@ -84,16 +89,57 @@ void UxServer::InputBody() {
   }
 }
 
-void UxServer::WorkerBody() {
+void UxServer::WorkerBody(size_t idx) {
+  RpcOpRecorder& rec = worker_rpc_[idx];
   IpcMessage msg;
   for (;;) {
     if (!request_port_.Receive(&msg)) {
       continue;
     }
+    // Queue wait: request enqueue -> this worker dequeued it. Service: the
+    // handler itself — for blocking ops (kPollWait, kAccept) that includes
+    // the parked wait, which *is* the placement's notification path.
+    SimTime start = host_->sim()->Now();
+    SimDuration queue_wait = msg.enqueued_at > 0 ? start - msg.enqueued_at : 0;
+    uint64_t bytes_in = msg.payload.size();
     IpcMessage reply = Handle(msg);
+    rec.Record(ServOpSlot(msg.kind), bytes_in, reply.payload.size(), queue_wait,
+               host_->sim()->Now() - start);
     if (msg.reply_port != nullptr) {
       msg.reply_port->Send(std::move(reply));
     }
+  }
+}
+
+RpcOpRecorder UxServer::MergedRpcStats() const {
+  RpcOpRecorder merged(kNumServOps);
+  for (const RpcOpRecorder& r : worker_rpc_) {
+    merged.Merge(r);
+  }
+  return merged;
+}
+
+void UxServer::ExportStats(StatsRegistry* reg, const std::string& prefix) const {
+  reg->RegisterGauge(prefix + "rpc.total", [this] {
+    uint64_t n = 0;
+    for (const RpcOpRecorder& r : worker_rpc_) {
+      n += r.total_count();
+    }
+    return n;
+  });
+  for (uint32_t i = 0; i < kNumServOps; i++) {
+    // "ux/accept" -> gauge "<prefix>rpc.accept.count" (the "ux/" family tag
+    // is redundant inside the ux. export prefix).
+    const char* name = kServOpNames[i];
+    const char* slash = std::strchr(name, '/');
+    std::string leaf = slash != nullptr ? slash + 1 : name;
+    reg->RegisterGauge(prefix + "rpc." + leaf + ".count", [this, i] {
+      uint64_t n = 0;
+      for (const RpcOpRecorder& r : worker_rpc_) {
+        n += r.op(i).count;
+      }
+      return n;
+    });
   }
 }
 
@@ -109,50 +155,6 @@ PollSet* UxServer::poll_set(uint64_t id) {
   auto it = polls_.find(id);
   return it == polls_.end() ? nullptr : it->second.get();
 }
-
-namespace {
-const char* ServOpName(ServOp op) {
-  switch (op) {
-    case ServOp::kSocket:
-      return "ux/socket";
-    case ServOp::kBind:
-      return "ux/bind";
-    case ServOp::kListen:
-      return "ux/listen";
-    case ServOp::kAccept:
-      return "ux/accept";
-    case ServOp::kConnect:
-      return "ux/connect";
-    case ServOp::kSend:
-      return "ux/send";
-    case ServOp::kRecv:
-      return "ux/recv";
-    case ServOp::kRecvChain:
-      return "ux/recv_chain";
-    case ServOp::kSetOpt:
-      return "ux/setopt";
-    case ServOp::kShutdown:
-      return "ux/shutdown";
-    case ServOp::kClose:
-      return "ux/close";
-    case ServOp::kSelect:
-      return "ux/select";
-    case ServOp::kLocalAddr:
-      return "ux/localaddr";
-    case ServOp::kPollCreate:
-      return "ux/poll_create";
-    case ServOp::kPollAdd:
-      return "ux/poll_add";
-    case ServOp::kPollRemove:
-      return "ux/poll_remove";
-    case ServOp::kPollWait:
-      return "ux/poll_wait";
-    case ServOp::kPollClose:
-      return "ux/poll_close";
-  }
-  return "ux/?";
-}
-}  // namespace
 
 IpcMessage UxServer::Handle(const IpcMessage& req) {
   IpcMessage reply;
@@ -378,6 +380,8 @@ IpcMessage UxServer::Handle(const IpcMessage& req) {
       polls_.erase(it);
       return reply;
     }
+    case ServOp::kServOpCount:
+      break;
   }
   return fail(Err::kOpNotSupp);
 }
@@ -391,6 +395,7 @@ IpcMessage UxServerNode::Call(ServOp op, uint64_t fd, std::vector<uint8_t> paylo
                               uint64_t a3) {
   SimThread* self = host_->sim()->current_thread();
   assert(self != nullptr);
+  rpc_calls_.Count(ServOpSlot(static_cast<uint32_t>(op)));
   self->Charge(host_->prof()->trap);
   Port reply_port(host_->sim(), host_->prof(), "ux-reply");
   IpcMessage req;

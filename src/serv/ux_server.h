@@ -15,13 +15,17 @@
 #include "src/api/socket_api.h"
 #include "src/ipc/port.h"
 #include "src/kern/host.h"
+#include "src/obs/rpc_account.h"
 #include "src/sock/pollset.h"
 #include "src/sock/select.h"
 #include "src/sock/socket.h"
 
 namespace psd {
 
-// RPC message kinds (client -> server).
+class StatsRegistry;
+
+// RPC message kinds (client -> server). kServOpCount is the growth sentinel
+// backing the name-table completeness check below.
 enum class ServOp : uint32_t {
   kSocket = 1,
   kBind,
@@ -41,7 +45,41 @@ enum class ServOp : uint32_t {
   kPollRemove,
   kPollWait,
   kPollClose,
+  kServOpCount,
 };
+
+// Stable display names, indexed by op - kServOpFirst (the span names psdstat
+// and psdtop render). Adding an op to ServOp without extending this table
+// fails the static_assert, so a new RPC op can never show up as a raw
+// integer in tool output.
+inline constexpr const char* kServOpNames[] = {
+    "ux/socket",      "ux/bind",     "ux/listen",      "ux/accept",
+    "ux/connect",     "ux/send",     "ux/recv",        "ux/recv_chain",
+    "ux/setopt",      "ux/shutdown", "ux/close",       "ux/select",
+    "ux/localaddr",   "ux/poll_create", "ux/poll_add", "ux/poll_remove",
+    "ux/poll_wait",   "ux/poll_close",
+};
+inline constexpr uint32_t kServOpFirst = static_cast<uint32_t>(ServOp::kSocket);
+inline constexpr uint32_t kNumServOps =
+    static_cast<uint32_t>(ServOp::kServOpCount) - kServOpFirst;
+static_assert(sizeof(kServOpNames) / sizeof(kServOpNames[0]) == kNumServOps,
+              "every ServOp needs an entry in kServOpNames");
+
+inline const char* ServOpName(ServOp op) {
+  uint32_t i = static_cast<uint32_t>(op);
+  if (i < kServOpFirst || i >= kServOpFirst + kNumServOps) {
+    return "ux/?";
+  }
+  return kServOpNames[i - kServOpFirst];
+}
+
+// Dense RpcOpRecorder slot for a request-message kind; -1 if not a ServOp.
+inline int ServOpSlot(uint32_t kind) {
+  if (kind < kServOpFirst || kind >= kServOpFirst + kNumServOps) {
+    return -1;
+  }
+  return static_cast<int>(kind - kServOpFirst);
+}
 
 class UxServer {
  public:
@@ -63,9 +101,15 @@ class UxServer {
   // ports, and the RPC dispatch loop. May be null.
   void SetTracer(Tracer* tracer);
 
+  // Per-op RPC accounting: all worker recorders folded into one (counts,
+  // bytes, queue-wait and service histograms per ServOp).
+  RpcOpRecorder MergedRpcStats() const;
+  // Registers "<prefix>rpc.total" plus "<prefix>rpc.<op>.count" per op.
+  void ExportStats(StatsRegistry* reg, const std::string& prefix) const;
+
  private:
   void InputBody();
-  void WorkerBody();
+  void WorkerBody(size_t idx);
   IpcMessage Handle(const IpcMessage& req);
   Result<Socket*> Lookup(uint64_t id);
 
@@ -80,6 +124,9 @@ class UxServer {
   // own table; a PollWait request parks the worker that handles it.
   std::map<uint64_t, std::unique_ptr<PollSet>> polls_;
   uint64_t next_id_ = 1;
+  // One recorder per worker fiber: recording is single-writer, merged only
+  // at export time (the 16 workers all dispatch from one request port).
+  std::vector<RpcOpRecorder> worker_rpc_;
 };
 
 // Client-side stub: implements SocketApi by RPC to a UxServer on the same
@@ -109,6 +156,10 @@ class UxServerNode : public SocketApi {
   Result<void> PollClose(int pfd) override;
   SockAddrIn LocalAddr(int fd) override;
 
+  // Client-side per-op RPC counts (every Call this stub issued), the
+  // numerator of the placement's RPCs-per-connection amplification.
+  const RpcClientCounter& rpc_calls() const { return rpc_calls_; }
+
  private:
   // One round trip: trap + request message + reply message, with real
   // payload copies on each hop.
@@ -117,6 +168,7 @@ class UxServerNode : public SocketApi {
 
   UxServer* server_;
   SimHost* host_;
+  RpcClientCounter rpc_calls_{kNumServOps};
 };
 
 }  // namespace psd

@@ -131,9 +131,16 @@ void World::ExportStats(int i, StatsRegistry* reg) {
   n->host->kernel()->ExportStats(reg, prefix + "kern.");
   if (n->kernel_node != nullptr) {
     n->kernel_node->stack()->ExportStats(reg, prefix + "stack.");
+    reg->RegisterGauge(prefix + "traps",
+                       [kn = n->kernel_node.get()] { return kn->traps(); });
   }
   if (n->ux != nullptr) {
     n->ux->stack()->ExportStats(reg, prefix + "ux.stack.");
+    n->ux->ExportStats(reg, prefix + "ux.");
+  }
+  if (n->ux_node != nullptr) {
+    reg->RegisterGauge(prefix + "api.rpc.total",
+                       [un = n->ux_node.get()] { return un->rpc_calls().total(); });
   }
   if (n->ns != nullptr) {
     n->ns->ExportStats(reg, prefix + "ns.");

@@ -68,6 +68,7 @@ class World {
 
   KernelNode* kernel_node(int i) { return nodes_[i]->kernel_node.get(); }
   UxServer* ux_server(int i) { return nodes_[i]->ux.get(); }
+  UxServerNode* ux_node(int i) { return nodes_[i]->ux_node.get(); }
   NetServer* net_server(int i) { return nodes_[i]->ns.get(); }
   ProtocolLibrary* library(int i) { return nodes_[i]->lib.get(); }
   LibraryNode* library_node(int i) { return nodes_[i]->lib_node.get(); }

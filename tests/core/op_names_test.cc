@@ -1,0 +1,76 @@
+// Name-table completeness for the two RPC op spaces the observatory
+// renders: every ServOp (UX server placement) and every ProxyOp (library
+// placements) must map to a unique, prefixed display name, and the dense
+// slot mapping used by the RPC recorders must round-trip.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <string>
+
+#include "src/core/proxy_protocol.h"
+#include "src/serv/ux_server.h"
+
+namespace psd {
+namespace {
+
+TEST(ServOpNames, EveryOpHasAUniquePrefixedName) {
+  std::set<std::string> seen;
+  for (uint32_t k = kServOpFirst; k < kServOpFirst + kNumServOps; k++) {
+    const char* name = ServOpName(static_cast<ServOp>(k));
+    ASSERT_NE(name, nullptr);
+    EXPECT_EQ(std::strncmp(name, "ux/", 3), 0) << name;
+    EXPECT_STRNE(name, "ux/?") << "op " << k << " has no real name";
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name " << name;
+  }
+  EXPECT_EQ(seen.size(), kNumServOps);
+}
+
+TEST(ServOpNames, OutOfRangeOpsRenderAsPlaceholder) {
+  EXPECT_STREQ(ServOpName(static_cast<ServOp>(0)), "ux/?");
+  EXPECT_STREQ(ServOpName(ServOp::kServOpCount), "ux/?");
+  EXPECT_STREQ(ServOpName(static_cast<ServOp>(9999)), "ux/?");
+}
+
+TEST(ServOpNames, SlotMappingIsDenseAndRejectsNonOps) {
+  for (uint32_t k = kServOpFirst; k < kServOpFirst + kNumServOps; k++) {
+    int slot = ServOpSlot(k);
+    EXPECT_EQ(slot, static_cast<int>(k - kServOpFirst));
+    EXPECT_GE(slot, 0);
+    EXPECT_LT(slot, static_cast<int>(kNumServOps));
+  }
+  EXPECT_EQ(ServOpSlot(0), -1);
+  EXPECT_EQ(ServOpSlot(static_cast<uint32_t>(ServOp::kServOpCount)), -1);
+}
+
+TEST(ProxyOpNames, EveryTableAndFwdOpHasAUniquePrefixedName) {
+  std::set<std::string> seen;
+  for (int slot = 0; slot < kNumProxyOpSlots; slot++) {
+    ProxyOp op = ProxyOpFromSlot(slot);
+    const char* name = ProxyOpName(op);
+    ASSERT_NE(name, nullptr);
+    EXPECT_EQ(std::strncmp(name, "proxy/", 6), 0) << name;
+    EXPECT_STRNE(name, "proxy/?") << "slot " << slot << " has no real name";
+    EXPECT_TRUE(seen.insert(name).second) << "duplicate name " << name;
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kNumProxyOpSlots));
+}
+
+TEST(ProxyOpNames, SlotMappingRoundTripsBothBlocks) {
+  // Table block (100..) and forwarded block (200..) collapse into one dense
+  // slot space for the recorders; the inverse must reproduce the op.
+  for (int slot = 0; slot < kNumProxyOpSlots; slot++) {
+    ProxyOp op = ProxyOpFromSlot(slot);
+    EXPECT_EQ(ProxyOpSlot(static_cast<uint32_t>(op)), slot);
+  }
+  EXPECT_EQ(ProxyOpSlot(static_cast<uint32_t>(ProxyOp::kProxyReacquire)),
+            static_cast<int>(static_cast<uint32_t>(ProxyOp::kProxyReacquire) - kProxyTableBase));
+  // Sentinels and gaps are not ops.
+  EXPECT_EQ(ProxyOpSlot(0), -1);
+  EXPECT_EQ(ProxyOpSlot(kProxyTableBase + static_cast<uint32_t>(kProxyTableSlots)), -1);
+  EXPECT_EQ(ProxyOpSlot(kProxyFwdBase + static_cast<uint32_t>(kProxyFwdSlots)), -1);
+  EXPECT_EQ(ProxyOpSlot(150), -1);
+}
+
+}  // namespace
+}  // namespace psd

@@ -80,6 +80,73 @@ TEST(LatencyHistogram, ResetClearsEverything) {
   }
 }
 
+TEST(LatencyHistogram, SingleBucketInterpolationStaysInsideBucketBounds) {
+  // 4096ns..8191ns all land in one log2 bucket. Interior quantiles must
+  // interpolate within [min, max] of that bucket, never jump to a bucket
+  // edge outside the recorded range.
+  LatencyHistogram h;
+  for (SimDuration d = 4096; d < 8192; d += 64) {
+    h.Record(d);
+  }
+  EXPECT_EQ(h.Quantile(0.0), 4096);
+  EXPECT_EQ(h.Quantile(1.0), 8128);
+  for (double q : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+    SimDuration v = h.Quantile(q);
+    EXPECT_GE(v, h.min()) << "q=" << q;
+    EXPECT_LE(v, h.max()) << "q=" << q;
+  }
+  // The median of a uniform fill should sit near the bucket's middle, not
+  // at either edge.
+  EXPECT_GT(h.Quantile(0.5), 4500);
+  EXPECT_LT(h.Quantile(0.5), 7800);
+}
+
+TEST(LatencyHistogram, MergeOfEmptyIsIdentity) {
+  LatencyHistogram a;
+  LatencyHistogram empty;
+  a.Record(Micros(10));
+  a.Record(Micros(90));
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), Micros(10));
+  EXPECT_EQ(a.max(), Micros(90));
+  EXPECT_EQ(a.total(), Micros(100));
+
+  // Merging into an empty histogram copies the other exactly.
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_EQ(empty.min(), Micros(10));
+  EXPECT_EQ(empty.max(), Micros(90));
+}
+
+TEST(LatencyHistogram, MergeEqualsRecordingEverySampleHere) {
+  // The per-worker-recorder contract: merging N recorders must be
+  // indistinguishable from one recorder that saw every sample.
+  LatencyHistogram merged;
+  LatencyHistogram direct;
+  LatencyHistogram workers[4];
+  for (int w = 0; w < 4; w++) {
+    for (int i = 1; i <= 250; i++) {
+      SimDuration d = Micros(w * 250 + i);
+      workers[w].Record(d);
+      direct.Record(d);
+    }
+  }
+  for (const LatencyHistogram& w : workers) {
+    merged.Merge(w);
+  }
+  EXPECT_EQ(merged.count(), direct.count());
+  EXPECT_EQ(merged.min(), direct.min());
+  EXPECT_EQ(merged.max(), direct.max());
+  EXPECT_EQ(merged.total(), direct.total());
+  for (int i = 0; i < LatencyHistogram::kBuckets; i++) {
+    EXPECT_EQ(merged.bucket(i), direct.bucket(i)) << "bucket " << i;
+  }
+  for (double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_EQ(merged.Quantile(q), direct.Quantile(q)) << "q=" << q;
+  }
+}
+
 TEST(HistogramSink, AggregatesSpansByNameAndCountsInstants) {
   HistogramSink sink;
   TraceSpanData span;
