@@ -52,6 +52,7 @@
 #include "src/base/rng.h"
 #include "src/obs/journey.h"
 #include "src/obs/metastate.h"
+#include "src/obs/prof.h"
 #include "src/obs/timeseries.h"
 #include "src/testbed/world.h"
 
@@ -510,6 +511,21 @@ int main(int argc, char** argv) {
         min_wall = std::min(min_wall, r.wall_ns);
       }
     }
+    // Extra run with the host profiler attached (kept out of the measured
+    // trials so the reported wall numbers stay profiler-free). Virtual
+    // quantities must still match: the profiler touches no virtual state.
+    HostProfiler& hp = HostProfiler::Get();
+    hp.Start();
+    C10kOutcome prof_run = RunC10k(config, prof, p, seed);
+    hp.Stop();
+    HostProfReport host_rep = hp.Snapshot();
+    if (host_rep.enabled &&
+        (prof_run.frames != ref.frames || prof_run.events != ref.events ||
+         prof_run.virtual_end != ref.virtual_end)) {
+      std::fprintf(stderr, "bench_c10k: %s profiled run diverged — profiler touched virtual "
+                           "state\n", ConfigName(config));
+      return 3;
+    }
     double storm_s = static_cast<double>(ref.storm_ns) * 1e-9;
     double accepts_per_sec = storm_s > 0 ? static_cast<double>(ref.accepts) / storm_s : 0;
     double p50 = Percentile(ref.connect_ns, 50) / 1e6;
@@ -563,6 +579,7 @@ int main(int argc, char** argv) {
     row.SetRaw("metastate", MetastateJson(ref));
     row.SetRaw("migrations",
                MigrationsJson(ref, IsLibraryConfig(config) ? p.migrate : 0));
+    row.SetRaw("host_profile", HostProfileJsonFragment(host_rep));
   }
   out.WriteFile();
   return 0;

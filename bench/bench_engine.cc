@@ -3,7 +3,8 @@
 // Every other bench in this repo reports *virtual* time; this one reports
 // how many real (host) nanoseconds the engine burns per simulated packet,
 // which is what bounds the scenario sizes every other open item needs.
-// Three canonical workloads, each a deterministic virtual-time scenario:
+// The three canonical workloads live in bench/common/engine_workloads.{h,cc}
+// (tools/psdprof and the profiler tests drive the same scenarios):
 //
 //   tcp_stream — one ttcp-style bulk TCP transfer, in-kernel placement
 //                (windowed stream: timers, retransmit machinery armed,
@@ -26,11 +27,17 @@
 //   wall_ns_per_pkt  — min over trials of wall_ns / frames_carried
 //   events_per_sec   — events_executed / wall seconds, at the min trial
 //
+// After the measured trials each workload runs ONCE MORE with the host
+// wall-clock profiler (src/obs/prof.h) attached — a separate run so the
+// profiler's ~5-10% overhead never touches the gated wall numbers — and
+// that run's per-domain attribution is emitted as the host_profile section
+// of every row (plus a prof.<domain> summary on stdout).
+//
 // With --compare-heap the udp_blast workload is re-run under the legacy
 // heap scheduler (PSD_SIM_HEAP_SCHEDULER=1) for a machine-independent
 // relative gate: the wheel must not be slower than the heap it replaced.
 // Emits BENCH_engine.json in the working directory (shared bench schema).
-#include <chrono>
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,27 +45,19 @@
 #include <vector>
 
 #include "bench/common/bench_json.h"
-#include "bench/common/workloads.h"
-#include "src/obs/journey.h"
-#include "src/testbed/world.h"
+#include "bench/common/engine_workloads.h"
+#include "src/obs/prof.h"
 
 namespace psd {
 namespace {
 
-struct RunOutcome {
-  uint64_t frames = 0;    // wire frames carried (the "packets" denominator)
-  uint64_t events = 0;    // simulator events executed
-  uint64_t switches = 0;  // OS-level thread handoffs (the engine's wall cost)
-  SimTime virtual_end = 0;
-  double wall_ns = 0;     // host time for the simulation phase
-};
-
 struct WorkloadStats {
   std::string name;
-  RunOutcome ref;                 // virtual quantities (identical every trial)
+  EngineRunOutcome ref;           // virtual quantities (identical every trial)
   std::vector<double> wall_ns;    // one entry per measured trial
   double min_wall_ns = 0;
   double mean_wall_ns = 0;
+  std::string host_profile;       // JSON fragment from the extra profiled run
 
   double wall_ns_per_pkt() const { return min_wall_ns / static_cast<double>(ref.frames); }
   double mean_wall_ns_per_pkt() const { return mean_wall_ns / static_cast<double>(ref.frames); }
@@ -67,234 +66,13 @@ struct WorkloadStats {
   }
 };
 
-// Runs `body` once, timing the simulation phase and collecting virtual
-// quantities. The journey/ledger singletons are reset per run so memory
-// stays bounded across trials (their recording cost is part of the engine
-// and stays on, as in every real scenario).
-template <typename Body>
-RunOutcome TimeOne(Body&& body) {
-  PacketJourney::Get().Reset();
-  DropLedger::Get().Reset();
-  RunOutcome out;
-  auto t0 = std::chrono::steady_clock::now();
-  body(&out);
-  auto t1 = std::chrono::steady_clock::now();
-  out.wall_ns =
-      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
-  return out;
-}
-
-// --- Workload 1: ttcp-style TCP stream -------------------------------------
-
-RunOutcome RunTcpStream(const MachineProfile& prof) {
-  return TimeOne([&](RunOutcome* out) {
-    World w(Config::kInKernel, prof);
-    constexpr size_t kTotal = 8 * 1024 * 1024;
-    bool done = false;
-    w.SpawnApp(1, "sink", [&] {
-      SocketApi* api = w.api(1);
-      int lfd = *api->CreateSocket(IpProto::kTcp);
-      api->Bind(lfd, SockAddrIn{Ipv4Addr::Any(), 5001});
-      api->SetOpt(lfd, SockOpt::kRcvBuf, 24 * 1024);
-      api->Listen(lfd, 1);
-      Result<int> fd = api->Accept(lfd, nullptr);
-      if (!fd.ok()) {
-        return;
-      }
-      uint8_t buf[8192];
-      size_t got = 0;
-      while (got < kTotal) {
-        Result<size_t> n = api->Recv(*fd, buf, sizeof(buf), nullptr, false);
-        if (!n.ok() || *n == 0) {
-          break;
-        }
-        got += *n;
-      }
-      api->Close(*fd);
-      api->Close(lfd);
-      done = got == kTotal;
-    });
-    w.SpawnApp(0, "source", [&] {
-      SocketApi* api = w.api(0);
-      w.sim().current_thread()->SleepFor(Millis(5));
-      int fd = *api->CreateSocket(IpProto::kTcp);
-      api->SetOpt(fd, SockOpt::kSndBuf, 24 * 1024);
-      if (!api->Connect(fd, SockAddrIn{w.addr(1), 5001}).ok()) {
-        return;
-      }
-      std::vector<uint8_t> buf(8192);
-      for (size_t i = 0; i < buf.size(); i++) {
-        buf[i] = static_cast<uint8_t>(i % 251);
-      }
-      size_t sent = 0;
-      while (sent < kTotal) {
-        Result<size_t> n = api->Send(fd, buf.data(), std::min(buf.size(), kTotal - sent));
-        if (!n.ok()) {
-          break;
-        }
-        sent += *n;
-      }
-      api->Close(fd);
-    });
-    w.sim().Run(Seconds(300));
-    if (!done) {
-      std::fprintf(stderr, "bench_engine: tcp_stream did not complete\n");
-      std::exit(2);
-    }
-    out->frames = w.wire().frames_carried();
-    out->events = w.sim().events_executed();
-    out->switches = w.sim().thread_switches();
-    out->virtual_end = w.sim().Now();
-  });
-}
-
-// --- Workload 2: one-way UDP blast ------------------------------------------
-
-RunOutcome RunUdpBlast(const MachineProfile& prof) {
-  return TimeOne([&](RunOutcome* out) {
-    World w(Config::kInKernel, prof);
-    constexpr int kCount = 20000;
-    constexpr size_t kPayload = 512;
-    constexpr int kBurst = 8;
-    int received = 0;
-    bool sender_done = false;
-    w.SpawnApp(1, "sink", [&] {
-      SocketApi* api = w.api(1);
-      int fd = *api->CreateSocket(IpProto::kUdp);
-      api->Bind(fd, SockAddrIn{Ipv4Addr::Any(), 9000});
-      api->SetOpt(fd, SockOpt::kRcvBuf, 256 * 1024);
-      uint8_t buf[2048];
-      for (;;) {
-        Result<size_t> n = api->Recv(fd, buf, sizeof(buf), nullptr, false);
-        if (!n.ok()) {
-          break;
-        }
-        received++;
-        if (received == kCount) {
-          break;
-        }
-      }
-      api->Close(fd);
-    });
-    w.SpawnApp(0, "blaster", [&] {
-      SocketApi* api = w.api(0);
-      w.sim().current_thread()->SleepFor(Millis(5));
-      int fd = *api->CreateSocket(IpProto::kUdp);
-      SockAddrIn dst{w.addr(1), 9000};
-      std::vector<uint8_t> pkt(kPayload, 0xab);
-      // Pace bursts at the wire rate so the segment backlog stays bounded
-      // (a blast, not an unbounded queue-growth microbenchmark).
-      SimDuration burst_time = w.wire().WireTime(kPayload + 42) * kBurst;
-      for (int i = 0; i < kCount; i++) {
-        pkt[0] = static_cast<uint8_t>(i);
-        pkt[1] = static_cast<uint8_t>(i >> 8);
-        api->Send(fd, pkt.data(), pkt.size(), &dst);
-        if ((i + 1) % kBurst == 0) {
-          w.sim().current_thread()->SleepFor(burst_time);
-        }
-      }
-      api->Close(fd);
-      sender_done = true;
-    });
-    w.sim().Run(Seconds(120));
-    if (!sender_done || received < kCount * 9 / 10) {
-      std::fprintf(stderr, "bench_engine: udp_blast incomplete (sent=%d received=%d)\n",
-                   sender_done ? kCount : -1, received);
-      std::exit(2);
-    }
-    out->frames = w.wire().frames_carried();
-    out->events = w.sim().events_executed();
-    out->switches = w.sim().thread_switches();
-    out->virtual_end = w.sim().Now();
-  });
-}
-
-// --- Workload 3: 256-session TCP churn on Library-SHM -----------------------
-
-RunOutcome RunChurn256(const MachineProfile& prof) {
-  return TimeOne([&](RunOutcome* out) {
-    World w(Config::kLibraryShm, prof);
-    constexpr int kSessions = 256;
-    constexpr size_t kBytes = 4096;
-    int served = 0;
-    int completed = 0;
-    w.SpawnApp(1, "churn-server", [&] {
-      SocketApi* api = w.api(1);
-      int lfd = *api->CreateSocket(IpProto::kTcp);
-      api->Bind(lfd, SockAddrIn{Ipv4Addr::Any(), 5001});
-      api->Listen(lfd, 8);
-      uint8_t buf[4096];
-      for (int s = 0; s < kSessions; s++) {
-        Result<int> fd = api->Accept(lfd, nullptr);
-        if (!fd.ok()) {
-          break;
-        }
-        size_t got = 0;
-        while (got < kBytes) {
-          Result<size_t> n = api->Recv(*fd, buf, sizeof(buf), nullptr, false);
-          if (!n.ok() || *n == 0) {
-            break;
-          }
-          got += *n;
-        }
-        api->Close(*fd);
-        if (got == kBytes) {
-          served++;
-        }
-      }
-      api->Close(lfd);
-    });
-    w.SpawnApp(0, "churn-client", [&] {
-      SocketApi* api = w.api(0);
-      w.sim().current_thread()->SleepFor(Millis(5));
-      std::vector<uint8_t> buf(kBytes);
-      for (size_t i = 0; i < buf.size(); i++) {
-        buf[i] = static_cast<uint8_t>(i % 253);
-      }
-      for (int s = 0; s < kSessions; s++) {
-        int fd = *api->CreateSocket(IpProto::kTcp);
-        if (!api->Connect(fd, SockAddrIn{w.addr(1), 5001}).ok()) {
-          api->Close(fd);
-          break;
-        }
-        size_t sent = 0;
-        while (sent < kBytes) {
-          Result<size_t> n = api->Send(fd, buf.data() + sent, kBytes - sent);
-          if (!n.ok()) {
-            break;
-          }
-          sent += *n;
-        }
-        api->Close(fd);
-        if (sent == kBytes) {
-          completed++;
-        }
-      }
-    });
-    w.sim().Run(Seconds(600));
-    if (completed != kSessions || served != kSessions) {
-      std::fprintf(stderr, "bench_engine: churn_256 incomplete (client=%d server=%d)\n",
-                   completed, served);
-      std::exit(2);
-    }
-    out->frames = w.wire().frames_carried();
-    out->events = w.sim().events_executed();
-    out->switches = w.sim().thread_switches();
-    out->virtual_end = w.sim().Now();
-  });
-}
-
-// ----------------------------------------------------------------------------
-
-using WorkloadFn = RunOutcome (*)(const MachineProfile&);
-
-WorkloadStats MeasureWorkload(const char* name, WorkloadFn fn, const MachineProfile& prof,
+WorkloadStats MeasureWorkload(const char* name, EngineWorkloadFn fn, const MachineProfile& prof,
                               int trials) {
   WorkloadStats st;
   st.name = name;
-  fn(prof);  // warmup: page in code, grow pools/freelists to steady state
+  fn(prof, 1.0);  // warmup: page in code, grow pools/freelists to steady state
   for (int t = 0; t < trials; t++) {
-    RunOutcome r = fn(prof);
+    EngineRunOutcome r = fn(prof, 1.0);
     if (t == 0) {
       st.ref = r;
     } else if (r.frames != st.ref.frames || r.events != st.ref.events ||
@@ -324,6 +102,36 @@ WorkloadStats MeasureWorkload(const char* name, WorkloadFn fn, const MachineProf
       static_cast<unsigned long long>(st.ref.events),
       static_cast<unsigned long long>(st.ref.switches), st.wall_ns_per_pkt(),
       st.mean_wall_ns_per_pkt(), st.events_per_sec());
+
+  // Extra profiled run (never part of the measured trials). The profiler is
+  // proven not to change virtual behavior (determinism A/B with it attached)
+  // and its virtual quantities are re-checked here for free.
+  HostProfiler& hp = HostProfiler::Get();
+  hp.Start();
+  EngineRunOutcome pr = fn(prof, 1.0);
+  hp.Stop();
+  HostProfReport rep = hp.Snapshot();
+  if (HostProfiler::enabled() || rep.enabled) {
+    if (pr.frames != st.ref.frames || pr.events != st.ref.events ||
+        pr.virtual_end != st.ref.virtual_end) {
+      std::fprintf(stderr, "bench_engine: %s profiled run diverged — profiler touched virtual "
+                           "state\n", name);
+      std::exit(3);
+    }
+  }
+  st.host_profile = HostProfileJsonFragment(rep);
+  if (rep.enabled) {
+    std::printf("  host attribution %.1f%%:", rep.attributed_pct());
+    int shown = 0;
+    for (const auto& d : rep.domains) {
+      if (d.domain == ProfDomain::kOther || shown == 5) {
+        continue;
+      }
+      std::printf(" %s %.1f%%", d.name, 100.0 * d.total_ns / rep.wall_ns);
+      shown++;
+    }
+    std::printf("\n");
+  }
   return st;
 }
 
@@ -354,9 +162,9 @@ int main(int argc, char** argv) {
               prof.name.c_str(), heap_env ? "heap" : "wheel", trials, trials == 1 ? "" : "s");
 
   std::vector<WorkloadStats> all;
-  all.push_back(MeasureWorkload("tcp_stream", RunTcpStream, prof, trials));
-  all.push_back(MeasureWorkload("udp_blast", RunUdpBlast, prof, trials));
-  all.push_back(MeasureWorkload("churn_256", RunChurn256, prof, trials));
+  all.push_back(MeasureWorkload("tcp_stream", RunEngineTcpStream, prof, trials));
+  all.push_back(MeasureWorkload("udp_blast", RunEngineUdpBlast, prof, trials));
+  all.push_back(MeasureWorkload("churn_256", RunEngineChurn256, prof, trials));
 
   BenchJson out("engine", prof.name);
   out.summary().Set("scheduler", heap_env ? "heap" : "wheel");
@@ -371,13 +179,13 @@ int main(int argc, char** argv) {
     // heap scheduler. Virtual behavior may differ slightly (event counts);
     // the wall-clock ratio is the point.
     setenv("PSD_SIM_HEAP_SCHEDULER", "1", 1);
-    WorkloadStats heap = MeasureWorkload("udp_blast_heap", RunUdpBlast, prof, trials);
+    WorkloadStats heap = MeasureWorkload("udp_blast_heap", RunEngineUdpBlast, prof, trials);
     unsetenv("PSD_SIM_HEAP_SCHEDULER");
     double speedup = heap.wall_ns_per_pkt() / all[1].wall_ns_per_pkt();
     std::printf("wheel vs heap (udp_blast): %.2fx\n", speedup);
     out.summary().Set("udp_blast_heap_wall_ns_per_pkt", heap.wall_ns_per_pkt());
     out.summary().Set("wheel_vs_heap_speedup", speedup);
-    all.push_back(heap);
+    all.push_back(std::move(heap));
   }
 
   for (const WorkloadStats& st : all) {
@@ -391,6 +199,7 @@ int main(int argc, char** argv) {
       row.Set("virtual_end_ms", static_cast<double>(st.ref.virtual_end) / 1e6);
       row.Set("wall_ns", st.wall_ns[t]);
       row.Set("wall_ns_per_pkt", st.wall_ns[t] / static_cast<double>(st.ref.frames));
+      row.SetRaw("host_profile", st.host_profile);
     }
   }
   out.WriteFile();

@@ -3,41 +3,14 @@
 #include <cstdio>
 #include <fstream>
 
+#include "src/base/json.h"
+#include "src/obs/prof.h"
+
 namespace psd {
 
 namespace {
 
-std::string Escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  out.push_back('"');
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  out.push_back('"');
-  return out;
-}
+std::string Escape(const std::string& s) { return JsonQuote(s); }
 
 }  // namespace
 
@@ -87,10 +60,17 @@ std::string BenchJson::Obj::Render() const {
 }
 
 std::string BenchJson::Render() const {
+  // The host context makes committed baselines interpretable across
+  // machines: a wall-clock number without the CPU it ran on is noise.
+  const HostContext& host = ReadHostContext();
+  char cores[32];
+  std::snprintf(cores, sizeof cores, "%d", host.cpu_cores);
   std::string out = "{\n";
   out += "  \"bench\": " + Escape(bench_) + ",\n";
   out += "  \"schema\": 1,\n";
-  out += "  \"profile\": " + Escape(profile_) + ",\n";
+  out += "  \"profile\": {\"machine\": " + Escape(profile_) +
+         ", \"cpu_model\": " + Escape(host.cpu_model) + ", \"cpu_cores\": " + cores +
+         ", \"governor\": " + Escape(host.governor) + "},\n";
   out += "  \"summary\": " + summary_.Render() + ",\n";
   out += "  \"results\": [\n";
   for (size_t i = 0; i < results_.size(); i++) {

@@ -5,6 +5,7 @@
 
 #include "src/base/bytes.h"
 #include "src/netsim/ether.h"
+#include "src/obs/prof.h"
 #include "src/obs/trace.h"
 
 namespace psd {
@@ -331,6 +332,7 @@ ParsedFrame ParseFrame(const uint8_t* pkt, size_t len) {
 }  // namespace
 
 FilterEngine::MatchResult FilterEngine::Match(const uint8_t* pkt, size_t len) const {
+  PSD_PROF_SCOPE(kFilterClassify);
   MatchResult r = MatchImpl(pkt, len);
   if (tracer_ != nullptr && tracer_->enabled()) {
     // Zero-width span: Match charges nothing itself (the kernel call site

@@ -150,14 +150,16 @@ struct TcpPcb {
   // Listener hook: fired when a child connection becomes acceptable.
   std::function<void()> accept_wakeup;
 
-  // Listen bookkeeping. The queue is split per BSD/syncache convention:
-  // the SYN half (embryonic children mid-handshake) is bounded by
-  // syn_backlog, the accept half (established, waiting for accept()) by
-  // backlog. Each half is ledgered separately as kTcpListenOverflow.
+  // Listen bookkeeping, BSD sonewconn convention: the combined population
+  // (embryonic children mid-handshake + established children awaiting
+  // accept()) is bounded by syn_backlog = backlog * 3 / 2, enforced at SYN
+  // admission — never at handshake completion, where refusal would strand
+  // a peer that already believes it is established. Overflows are
+  // ledgered as kTcpListenOverflow.
   TcpPcb* parent = nullptr;
   std::deque<TcpPcb*> accept_ready;
-  int backlog = 0;      // accept-half bound (completed connections)
-  int syn_backlog = 0;  // SYN-half bound (embryonic children)
+  int backlog = 0;      // listen(2) backlog as requested
+  int syn_backlog = 0;  // admission bound on embryonic + accept_ready
   int embryonic = 0;    // children in SYN_RCVD
 
   uint64_t id = 0;  // diagnostics

@@ -200,9 +200,15 @@ void TcpLayer::Input(Chain seg, Ipv4Addr src, Ipv4Addr dst) {
       drop(DropReason::kTcpUnacceptable);
       return;
     }
-    if (pcb->embryonic >= pcb->syn_backlog) {
-      // SYN half full: drop the SYN, let the peer retry. The accept half
-      // is policed separately at handshake completion below.
+    if (pcb->embryonic + static_cast<int>(pcb->accept_ready.size()) >= pcb->syn_backlog) {
+      // Queue full: drop the SYN, let the peer retry. BSD sonewconn
+      // semantics — the *combined* population (half-open children plus
+      // completed connections awaiting accept) is bounded here, at
+      // admission, where the peer is still harmlessly parked in connect().
+      // A handshake, once admitted, is never refused at completion: by
+      // then the peer believes it is established and has data in flight,
+      // and refusing the completing ACK strands the session on the peer's
+      // retransmit timers until the establishment reaper kills it.
       drop(DropReason::kTcpListenOverflow);
       return;
     }
@@ -408,15 +414,6 @@ void TcpLayer::Input(Chain seg, Ipv4Addr src, Ipv4Addr dst) {
       if (SeqGt(pcb->snd_una, ack) || SeqGt(ack, pcb->snd_max)) {
         drop(DropReason::kTcpUnacceptable);
         drop_with_reset();
-        return;
-      }
-      if (pcb->parent != nullptr &&
-          static_cast<int>(pcb->parent->accept_ready.size()) >= pcb->parent->backlog) {
-        // Accept half full: refuse the promotion and stay embryonic. The
-        // peer's retransmitted ACK (or first data segment) retries once
-        // accept() has drained the queue; the establishment timer reaps
-        // the child if it never does.
-        drop(DropReason::kTcpListenOverflow);
         return;
       }
       pcb->state = TcpState::kEstablished;

@@ -122,9 +122,9 @@ Result<void> TcpLayer::Listen(TcpPcb* pcb, int backlog) {
   }
   pcb->state = TcpState::kListen;
   pcb->backlog = std::max(1, backlog);
-  // SYN half gets headroom over the accept half (BSD listen(2) grants
-  // backlog * 3 / 2) so a burst of handshakes in flight doesn't starve
-  // admission while completed connections drain through accept().
+  // BSD listen(2) grants the queue backlog * 3 / 2 headroom so a burst of
+  // handshakes in flight doesn't starve admission while completed
+  // connections drain through accept().
   pcb->syn_backlog = std::max(1, pcb->backlog * 3 / 2);
   return OkResult();
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/obs/prof.h"
+
 namespace psd {
 
 // ---------------------------------------------------------------------------
@@ -106,6 +108,7 @@ Mbuf::~Mbuf() {
 }
 
 std::unique_ptr<Mbuf> Mbuf::Get(size_t leading) {
+  PSD_PROF_SCOPE(kPoolMbuf);
   assert(leading <= kMbufInline);
   auto m = std::unique_ptr<Mbuf>(new Mbuf());
   m->off_ = leading;
@@ -113,6 +116,7 @@ std::unique_ptr<Mbuf> Mbuf::Get(size_t leading) {
 }
 
 std::unique_ptr<Mbuf> Mbuf::GetCluster(size_t capacity, size_t leading) {
+  PSD_PROF_SCOPE(kPoolMbuf);
   assert(leading <= capacity);
   auto m = std::unique_ptr<Mbuf>(new Mbuf());
   MbufPoolState& s = PS();

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/obs/prof.h"
+
 namespace psd {
 
 namespace {
@@ -24,6 +26,7 @@ PoolState& S() {
 }  // namespace
 
 std::vector<uint8_t> FramePool::Acquire(size_t n) {
+  PSD_PROF_SCOPE(kPoolFrame);
   PoolState& s = S();
   std::vector<std::vector<uint8_t>>* cls = nullptr;
   size_t cls_bytes = n;
@@ -57,6 +60,7 @@ std::vector<uint8_t> FramePool::CopyOf(const std::vector<uint8_t>& src) {
 }
 
 void FramePool::Recycle(std::vector<uint8_t>&& buf) {
+  PSD_PROF_SCOPE(kPoolFrame);
   PoolState& s = S();
   s.recycles++;
   if (s.live > 0) {

@@ -7,6 +7,7 @@
 #include "src/netsim/segment.h"
 #include "src/obs/journey.h"
 #include "src/obs/pcap.h"
+#include "src/obs/prof.h"
 #include "src/obs/trace.h"
 
 namespace psd {
@@ -114,6 +115,7 @@ bool EthernetSegment::CorruptFrame(Frame* frame) {
 }
 
 void EthernetSegment::Transmit(Nic* src, Frame frame, std::function<void()> done) {
+  PSD_PROF_SCOPE(kWireDeliver);
   SimDuration wire_time = WireTime(frame.size());
   if (faults_.bandwidth_scale != 1.0) {
     wire_time = static_cast<SimDuration>(static_cast<double>(wire_time) * faults_.bandwidth_scale);
@@ -261,6 +263,7 @@ void EthernetSegment::Transmit(Nic* src, Frame frame, std::function<void()> done
 }
 
 void EthernetSegment::Deliver(Nic* src, Frame frame, SimTime at) {
+  PSD_PROF_SCOPE(kWireDeliver);
   // Hardware MAC filtering is resolved here, at target computation: a
   // bystander NIC that would discard the frame anyway never costs a frame
   // copy or a delivery event. The whole fan-out of one frame then rides in
@@ -325,6 +328,7 @@ void EthernetSegment::Deliver(Nic* src, Frame frame, SimTime at) {
 }
 
 void Nic::Transmit(Frame frame) {
+  PSD_PROF_SCOPE(kNicRing);
   assert(segment_ != nullptr && "NIC not attached");
   assert(frame.size() >= kEtherHeaderLen);
   SimThread* self = sim_->current_thread();
@@ -337,6 +341,7 @@ void Nic::Transmit(Frame frame) {
 }
 
 void Nic::DeliverFromWire(Frame frame) {
+  PSD_PROF_SCOPE(kNicRing);
   // Hardware MAC filtering: accept our unicast address and broadcast. The
   // segment already filters at target computation; this stays for frames
   // injected directly (tests, raw tools).

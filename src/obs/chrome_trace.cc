@@ -2,40 +2,11 @@
 
 #include <cstdio>
 
+#include "src/base/json.h"
+
 namespace psd {
 
 namespace {
-
-// Escapes a string for embedding in a JSON string literal.
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 // Virtual nanoseconds -> trace-event microseconds (fractional .001 steps).
 double ToTraceTs(int64_t ns) { return static_cast<double>(ns) / 1000.0; }
@@ -96,6 +67,20 @@ void ChromeTraceSink::OnInstant(const char* name, TraceLayer layer, SimTime at, 
   events_.push_back(std::move(e));
 }
 
+void ChromeTraceSink::AddHostSpans(const HostProfReport& rep) {
+  if (host_ctx_names_.empty()) {
+    host_ctx_names_ = rep.ctx_names;
+  }
+  host_events_.reserve(host_events_.size() + rep.spans.size());
+  for (const HostProfSpan& s : rep.spans) {
+    if (s.ctx >= host_ctx_names_.size()) {
+      continue;
+    }
+    host_events_.push_back(
+        HostEvent{ProfDomainName(s.domain), static_cast<int>(s.ctx) + 1, s.begin_ns, s.dur_ns});
+  }
+}
+
 void ChromeTraceSink::WriteJson(std::ostream& os) const {
   os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
   bool first = true;
@@ -150,6 +135,27 @@ void ChromeTraceSink::WriteJson(std::ostream& os) const {
       os << "\"child_us\":" << ts;
     }
     os << "}}";
+  }
+  // Host wall-clock tracks, as their own process: host ns since profiler
+  // Start(), not virtual time.
+  if (!host_events_.empty()) {
+    int host_pid = static_cast<int>(pid_names_.size()) + 1;
+    sep();
+    os << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << host_pid
+       << ",\"tid\":0,\"args\":{\"name\":\"host wall clock\"}}";
+    for (size_t i = 0; i < host_ctx_names_.size(); ++i) {
+      sep();
+      os << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << host_pid << ",\"tid\":" << (i + 1)
+         << ",\"args\":{\"name\":\"" << JsonEscape(host_ctx_names_[i]) << "\"}}";
+    }
+    for (const HostEvent& e : host_events_) {
+      sep();
+      std::snprintf(ts, sizeof(ts), "%.3f", e.begin_ns / 1000.0);
+      os << "{\"name\":\"" << e.name << "\",\"cat\":\"host\",\"ph\":\"X\",\"ts\":" << ts;
+      std::snprintf(ts, sizeof(ts), "%.3f", e.dur_ns / 1000.0);
+      os << ",\"dur\":" << ts << ",\"pid\":" << host_pid << ",\"tid\":" << e.tid
+         << ",\"args\":{}}";
+    }
   }
   os << "]}\n";
 }

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/prof.h"
 #include "src/obs/trace.h"
 
 namespace psd {
@@ -23,6 +24,13 @@ class ChromeTraceSink : public TraceSink {
   void OnSpan(const TraceSpanData& span) override;
   void OnInstant(const char* name, TraceLayer layer, SimTime at, SimThread* thread,
                  uint64_t sid) override;
+
+  // Merges a host-profiler span buffer (HostProfiler::RecordSpans) as an
+  // extra process group, one track per execution context. Host spans are
+  // wall-clock ns since Start() — a different time base from the virtual
+  // tracks, which is why they get their own process rather than sharing
+  // the simulated hosts' swimlanes.
+  void AddHostSpans(const HostProfReport& rep);
 
   // Writes the complete trace as chrome://tracing JSON.
   void WriteJson(std::ostream& os) const;
@@ -52,7 +60,16 @@ class ChromeTraceSink : public TraceSink {
   // before '/'; threads with no registered host go to process "sim".
   void Resolve(SimThread* thread, int* pid, int* tid);
 
+  struct HostEvent {
+    const char* name;  // interned domain name
+    int tid;           // 1-based index into host_ctx_names_
+    double begin_ns;
+    double dur_ns;
+  };
+
   std::vector<Event> events_;
+  std::vector<std::string> host_ctx_names_;  // wall-clock track names
+  std::vector<HostEvent> host_events_;
   std::map<std::string, int> pids_;          // host name -> pid
   std::map<const void*, int> tids_;          // SimThread* -> tid
   std::vector<std::pair<int, std::string>> tid_names_;  // (pid, thread name) by tid

@@ -1,4 +1,5 @@
 #include "src/obs/journey.h"
+#include "src/base/json.h"
 
 #include <algorithm>
 #include <sstream>
@@ -254,19 +255,6 @@ std::vector<uint64_t> SelectPackets(const PktwalkFilter& f) {
       continue;  // delivered / consumed packets are not "lost"
     }
     out.push_back(id);
-  }
-  return out;
-}
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else {
-      out += c;
-    }
   }
   return out;
 }

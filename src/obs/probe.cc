@@ -62,4 +62,38 @@ TraceLayer StageLayer(Stage s) {
   return TraceLayer::kKern;
 }
 
+ProfDomain StageProfDomain(Stage s) {
+  switch (s) {
+    case Stage::kEntryCopyin:
+      return ProfDomain::kSockCopyin;
+    case Stage::kProtoOutput:
+      return ProfDomain::kInetProtoOut;
+    case Stage::kIpOutput:
+      return ProfDomain::kInetIpOut;
+    case Stage::kEtherOutput:
+      return ProfDomain::kInetEtherOut;
+    case Stage::kDevIntrRead:
+      return ProfDomain::kKernIntrRead;
+    case Stage::kNetisrFilter:
+      return ProfDomain::kFilterClassify;
+    case Stage::kKernelCopyout:
+      return ProfDomain::kKernCopyout;
+    case Stage::kMbufQueue:
+      return ProfDomain::kInetMbufQueue;
+    case Stage::kIpIntr:
+      return ProfDomain::kInetIpIn;
+    case Stage::kProtoInput:
+      return ProfDomain::kInetProtoIn;
+    case Stage::kWakeupUser:
+      return ProfDomain::kSockWakeup;
+    case Stage::kCopyoutExit:
+      return ProfDomain::kSockCopyout;
+    case Stage::kNetworkTransit:
+      return ProfDomain::kWireDeliver;
+    case Stage::kNumStages:
+      break;
+  }
+  return ProfDomain::kOther;
+}
+
 }  // namespace psd

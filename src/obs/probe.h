@@ -44,6 +44,12 @@ const char* StageName(Stage s);
 // The subsystem each stage's work belongs to (span category in traces).
 TraceLayer StageLayer(Stage s);
 
+// The host-profiler domain each stage's host time charges to: every
+// ProbeSpan doubles as a host wall-clock scope (src/obs/prof.h), so the
+// Table 4 virtual decomposition and the host-cost decomposition share one
+// set of instrumentation points.
+ProfDomain StageProfDomain(Stage s);
+
 // Aggregates stage-mapped spans into per-stage totals. Attach to a Tracer
 // with AddSink; spans without a stage mapping are ignored.
 class StageRecorder : public TraceSink {
@@ -81,7 +87,8 @@ class StageRecorder : public TraceSink {
 // pointer test on the hot path).
 class ProbeSpan {
  public:
-  ProbeSpan(Tracer* tracer, Simulator* sim, Stage s) : tracer_(tracer), sim_(sim) {
+  ProbeSpan(Tracer* tracer, Simulator* sim, Stage s)
+      : tracer_(tracer), sim_(sim), prof_(StageProfDomain(s)) {
 #ifndef PSD_OBS_DISABLE_TRACING
     if (tracer_ != nullptr && tracer_->enabled()) {
       tracer_->Begin(sim_, StageName(s), StageLayer(s), static_cast<int>(s), /*sid=*/0,
@@ -111,6 +118,7 @@ class ProbeSpan {
  private:
   Tracer* tracer_;
   Simulator* sim_;
+  ProfScope prof_;
   bool open_ = false;
   bool committed_ = true;
 };

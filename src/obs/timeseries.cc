@@ -1,4 +1,5 @@
 #include "src/obs/timeseries.h"
+#include "src/base/json.h"
 
 #include <cstdio>
 #include <sstream>
@@ -13,26 +14,6 @@ namespace {
 
 bool HasPrefix(const std::string& s, const std::string& prefix) {
   return prefix.empty() || s.rfind(prefix, 0) == 0;
-}
-
-// Gauge names are dotted identifiers today, but keep snapshots valid JSON
-// even if a future component registers an exotic name.
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-      out.push_back(c);
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-      out += buf;
-    } else {
-      out.push_back(c);
-    }
-  }
-  return out;
 }
 
 }  // namespace

@@ -30,6 +30,32 @@ const char* TraceLayerName(TraceLayer layer) {
   return "?";
 }
 
+ProfDomain LayerProfDomain(TraceLayer layer) {
+  switch (layer) {
+    case TraceLayer::kKern:
+      return ProfDomain::kKernTrap;
+    case TraceLayer::kIpc:
+      return ProfDomain::kIpcPort;
+    case TraceLayer::kFilter:
+      return ProfDomain::kFilterClassify;
+    case TraceLayer::kInet:
+      return ProfDomain::kInetOther;
+    case TraceLayer::kSock:
+      return ProfDomain::kSockOther;
+    case TraceLayer::kCore:
+      return ProfDomain::kCoreRpc;
+    case TraceLayer::kServ:
+      return ProfDomain::kServRpc;
+    case TraceLayer::kApp:
+      return ProfDomain::kApp;
+    case TraceLayer::kWire:
+      return ProfDomain::kWireDeliver;
+    case TraceLayer::kNumLayers:
+      break;
+  }
+  return ProfDomain::kOther;
+}
+
 void Tracer::Begin(Simulator* sim, const char* name, TraceLayer layer, int stage, uint64_t sid,
                    bool exclusive) {
   const void* key = sim->current_thread();

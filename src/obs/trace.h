@@ -47,6 +47,10 @@ enum class TraceLayer : int {
 
 const char* TraceLayerName(TraceLayer layer);
 
+// The host-profiler domain a layer's free-form spans charge host time to
+// (coarser than the Stage mapping in probe.h; see src/obs/prof.h).
+ProfDomain LayerProfDomain(TraceLayer layer);
+
 // One completed span, handed to sinks at End time. `name` must be a string
 // with static storage duration (emission points use literals). `stage` is
 // the Table 4 Stage the span maps to, or -1 for spans outside that taxonomy.
@@ -123,7 +127,7 @@ class Tracer {
 class TraceSpan {
  public:
   TraceSpan(Tracer* tracer, Simulator* sim, const char* name, TraceLayer layer, uint64_t sid = 0)
-      : tracer_(tracer), sim_(sim) {
+      : tracer_(tracer), sim_(sim), prof_(LayerProfDomain(layer)) {
 #ifndef PSD_OBS_DISABLE_TRACING
     if (tracer_ != nullptr && tracer_->enabled()) {
       tracer_->Begin(sim_, name, layer, /*stage=*/-1, sid, /*exclusive=*/false);
@@ -145,6 +149,7 @@ class TraceSpan {
  private:
   Tracer* tracer_;
   Simulator* sim_;
+  ProfScope prof_;
   bool open_ = false;
 };
 

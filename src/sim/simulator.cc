@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdlib>
 #include <exception>
+#include <optional>
 
 #include "src/base/log.h"
 #include <cstdio>
@@ -118,6 +119,12 @@ void Simulator::Run(SimTime until) {
   stopped_ = false;
   in_run_ = true;
   run_until_ = until;
+  // Host-profiler attribution (reads the TSC, never virtual state): loop
+  // dispatch — peek/pop, wheel cascades, arena frees — charges to sim.sched
+  // exclusively; closure bodies charge to sim.event; time while a resumed
+  // fiber runs charges to that fiber via the Depart/Arrive edges in
+  // RunUntilBlocked.
+  ProfScope prof_sched(ProfDomain::kSimSched);
   for (;;) {
     EventNode* n = PeekNext();
     if (stopped_ || n == nullptr || n->time > until) {
@@ -132,7 +139,10 @@ void Simulator::Run(SimTime until) {
       arena_.Free(n);
       ResumeThread(t);
     } else {
-      n->invoke(n);
+      {
+        ProfScope prof_ev(ProfDomain::kSimEvent);
+        n->invoke(n);
+      }
       n->DestroyCallable();
       arena_.Free(n);
     }
@@ -160,6 +170,14 @@ bool Simulator::TryFastResume(SimThread* t, EventNode* n) {
   // resumer until the drain loop holding that thread's frame continues and
   // finds its own wakeup on top. Virtual behavior (time, order, event
   // count) is identical to the loop running everything.
+  // The drain IS the scheduler, just running on a fiber's OS context: charge
+  // it to sim.sched (nested under whatever scope the fiber holds open), with
+  // closure bodies under sim.event, exactly like the main loop. The scope
+  // opens lazily, once the drain commits to processing an event: most calls
+  // bail on the first peek, and paying two TSC stamps on that path roughly
+  // doubled the profiler's whole-run overhead (the peek itself is a few ns
+  // and charges to whatever scope the caller holds — noise).
+  std::optional<ProfScope> prof_sched;
   while (!stopped_) {
     EventNode* top = PeekNext();
     if (top == nullptr || top->time > run_until_) {
@@ -168,6 +186,9 @@ bool Simulator::TryFastResume(SimThread* t, EventNode* n) {
     SimThread* u = top->resumes;
     if (u != nullptr && u != t && !u->parked_ && !u->finished_) {
       return false;  // on the token chain above us: unwind to it
+    }
+    if (!prof_sched.has_value()) {
+      prof_sched.emplace(ProfDomain::kSimSched);
     }
     RemovePeeked(top);
     now_ = top->time;
@@ -187,7 +208,10 @@ bool Simulator::TryFastResume(SimThread* t, EventNode* n) {
       }
     } else {
       current_ = nullptr;
-      top->invoke(top);
+      {
+        ProfScope prof_ev(ProfDomain::kSimEvent);
+        top->invoke(top);
+      }
       top->DestroyCallable();
       current_ = t;
       arena_.Free(top);
@@ -238,6 +262,9 @@ void SimThread::FiberTrampoline(unsigned hi, unsigned lo) {
 }
 
 void SimThread::FiberMain() {
+  if (HostProfiler::enabled()) {
+    HostProfiler::Get().ArriveFiber(&prof_ctx_, name_);
+  }
   try {
     CheckShutdown();
     // Run the body from a local so its captures die with the body, not with
@@ -249,16 +276,29 @@ void SimThread::FiberMain() {
   }
   finished_ = true;
   parked_ = true;
+  if (HostProfiler::enabled()) {
+    HostProfiler::Get().Depart();
+  }
   // Final exit; whoever entered this fiber frees the stack.
   swapcontext(&fiber_ctx_, &return_ctx_);
 }
 
 void SimThread::RunUntilBlocked() {
   parked_ = false;
+  // Host-profiler context-switch edges: remember whose host time was accruing
+  // (this frame's context survives the swap on our stack), charge the swap
+  // gap to fiber.swap, and restore on return.
+  uint32_t prof_prev = 0;
+  if (HostProfiler::enabled()) {
+    prof_prev = HostProfiler::Get().Depart();
+  }
   // Each entry freshly records the caller's context, so nested drain chains
   // (fiber A drains and enters fiber B, which later yields) unwind to the
   // right frame.
   swapcontext(&return_ctx_, &fiber_ctx_);
+  if (HostProfiler::enabled()) {
+    HostProfiler::Get().Arrive(prof_prev);
+  }
   if (finished_ && stack_ != nullptr) {
     stack_.reset();  // dead fibers keep their SimThread, not their stack
   }
@@ -266,7 +306,13 @@ void SimThread::RunUntilBlocked() {
 
 void SimThread::YieldToSimulator() {
   parked_ = true;
+  if (HostProfiler::enabled()) {
+    HostProfiler::Get().Depart();
+  }
   swapcontext(&fiber_ctx_, &return_ctx_);
+  if (HostProfiler::enabled()) {
+    HostProfiler::Get().ArriveFiber(&prof_ctx_, name_);
+  }
   CheckShutdown();
 }
 

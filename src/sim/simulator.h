@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "src/base/time.h"
+#include "src/obs/prof.h"
 #include "src/sim/event_node.h"
 #include "src/sim/timer_wheel.h"
 
@@ -281,6 +282,11 @@ class SimThread {
   uint64_t wait_epoch_ = 0;
   bool timed_out_ = false;
   bool killed_ = false;
+
+  // Host profiler context id, lazily registered on first arrival inside a
+  // profiling window (0 = not yet registered). Host-side bookkeeping only;
+  // never read by simulation logic.
+  uint32_t prof_ctx_ = 0;
 };
 
 // FIFO wait queue (condition-variable-like). Notify wakes in wait order.

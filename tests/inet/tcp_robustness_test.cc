@@ -185,16 +185,17 @@ TEST(TcpRobustness, ListenBacklogLimitsPendingConnections) {
     });
   }
   w.sim().Run(Seconds(300));
-  // BSD split-queue semantics: the SYN half (3 * backlog / 2) admits all
-  // four staggered handshakes, so every client's connect succeeds — a
-  // SYN-ACKed peer is established from its own side.
-  EXPECT_EQ(established, 4);
-  // But only `backlog` children may be promoted into the accept queue; the
-  // remaining ACKs are refused at promotion and ledgered (the SYN-ACK
-  // retransmit cycle re-attempts promotion, so at least one drop each).
-  EXPECT_GE(DropLedger::Get().total(DropReason::kTcpListenOverflow), 2u);
-  // The refused children stay embryonic until the connection-establishment
-  // timer reaps them, returning the listener to exactly backlog pending.
+  // BSD sonewconn semantics: the combined population of embryonic plus
+  // accept-ready children is bounded at SYN admission by 3 * backlog / 2
+  // (here 3). The first three handshakes are admitted and — since an
+  // admitted handshake is never refused at completion — all three
+  // establish. The fourth SYN finds the listener full and is dropped, so
+  // that client's connect times out.
+  EXPECT_EQ(established, 3);
+  // Every refused SYN (including retransmits) is ledgered.
+  EXPECT_GE(DropLedger::Get().total(DropReason::kTcpListenOverflow), 1u);
+  // The admitted children all completed their handshakes, so the listener
+  // holds exactly syn_backlog accept-ready children and no embryonic ones.
   Stack* server = w.stack(1);
   DomainLock lock(server->sync());
   TcpPcb* listener = nullptr;
@@ -205,7 +206,7 @@ TEST(TcpRobustness, ListenBacklogLimitsPendingConnections) {
   }
   ASSERT_NE(listener, nullptr);
   EXPECT_EQ(listener->embryonic, 0);
-  EXPECT_EQ(static_cast<int>(listener->accept_ready.size()), 2);
+  EXPECT_EQ(static_cast<int>(listener->accept_ready.size()), 3);
 }
 
 }  // namespace

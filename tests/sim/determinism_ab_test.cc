@@ -13,6 +13,7 @@
 #include <string>
 
 #include "src/obs/journey.h"
+#include "src/obs/prof.h"
 #include "src/testbed/torture.h"
 
 namespace psd {
@@ -40,6 +41,12 @@ AbRun RunWithBackend(bool heap, Config config, const TortureSpec& spec, uint64_t
 }
 
 void CheckConfig(Config config) {
+  // The host profiler stays attached across the whole matrix. Its hooks
+  // read the host clock and write profiler-private arrays only, so every
+  // report below must still be byte-identical — this is the
+  // zero-perturbation proof promised in src/obs/prof.h. (In
+  // PSD_OBS_DISABLE_PROF builds Start/Stop are no-op stubs.)
+  HostProfiler::Get().Start();
   for (uint64_t seed : {1ull, 7ull, 1993ull}) {
     for (const TortureSpec& spec : TortureScenarios()) {
       AbRun wheel = RunWithBackend(false, config, spec, seed);
@@ -52,6 +59,7 @@ void CheckConfig(Config config) {
           << "pktwalk diverged: " << spec.name << " seed " << seed;
     }
   }
+  HostProfiler::Get().Stop();
 }
 
 TEST(DeterminismAB, InKernel) { CheckConfig(Config::kInKernel); }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bench/common/workloads.h"
+#include "src/base/json.h"
 #include "src/obs/histogram.h"
 #include "src/obs/journey.h"
 #include "src/obs/netstat.h"
@@ -86,19 +87,6 @@ void AppendSessionCounters(World& w, int i, std::vector<StatsRegistry::Entry>* o
       out->push_back({base + "rexmt_segs", p->rexmt_segs});
     }
   }
-}
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      default: out += c;
-    }
-  }
-  return out;
 }
 
 }  // namespace

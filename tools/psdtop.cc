@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "src/obs/metastate.h"
+#include "src/obs/prof.h"
 #include "src/obs/stats.h"
 #include "src/obs/timeseries.h"
 #include "src/testbed/world.h"
@@ -135,6 +136,12 @@ int main(int argc, char** argv) {
 
     StatsRegistry reg;
     MetastateLedger::Get().ExportStats(&reg, "meta.");
+#ifndef PSD_OBS_DISABLE_PROF
+    // Host wall-clock attribution rides the same sampler: prof.* gauges
+    // are host ns per domain, so their sampled deltas are host-time rates.
+    HostProfiler::Get().Start();
+    HostProfiler::Get().ExportStats(&reg, "prof.");
+#endif
     if (w.library(0) != nullptr) {
       reg.RegisterGauge("rpc.total", [&w] { return w.library(0)->rpc_calls().total(); });
     } else if (w.ux_node(0) != nullptr) {
@@ -253,6 +260,12 @@ int main(int argc, char** argv) {
       server_traps = w.kernel_node(0)->traps();
     }
   }
+#ifndef PSD_OBS_DISABLE_PROF
+  HostProfiler::Get().Stop();
+  const HostProfReport host_rep = HostProfiler::Get().Snapshot();
+#else
+  const HostProfReport host_rep;
+#endif
 
   std::sort(ops.begin(), ops.end(),
             [](const OpRow& a, const OpRow& b) { return a.stats.count > b.stats.count; });
@@ -294,7 +307,8 @@ int main(int argc, char** argv) {
              static_cast<unsigned long long>(h.count()), h.QuantileMicros(0.5),
              h.QuantileMicros(0.99));
     }
-    printf("}},\n  \"timeseries\": %s\n}\n", timeseries_json.c_str());
+    printf("}},\n  \"host_profile\": %s,\n  \"timeseries\": %s\n}\n",
+           HostProfileJsonFragment(host_rep).c_str(), timeseries_json.c_str());
     return 0;
   }
 
@@ -346,5 +360,15 @@ int main(int argc, char** argv) {
            h.QuantileMicros(0.99));
   }
   printf("\nmigrations performed: %llu\n", static_cast<unsigned long long>(migrations));
+
+  if (host_rep.enabled) {
+    printf("\nhost: %.1f ms wall, %.1f%% attributed; top:", host_rep.wall_ns / 1e6,
+           host_rep.attributed_pct());
+    for (size_t i = 0; i < host_rep.domains.size() && i < 5; i++) {
+      printf(" %s %.1f%%", host_rep.domains[i].name,
+             100.0 * host_rep.domains[i].total_ns / host_rep.wall_ns);
+    }
+    printf("\n");
+  }
   return 0;
 }

@@ -4,10 +4,14 @@
 //
 // Usage:
 //   trace_export [--config NAME] [--proto udp|tcp] [--size BYTES]
-//                [--trials N] [--out FILE] [--stats]
+//                [--trials N] [--out FILE] [--stats] [--host-prof]
 //
 // Defaults: --config library-shm-ipf --proto udp --size 1 --trials 10
 //           --out trace.json
+//
+// --host-prof attaches the host wall-clock profiler (src/obs/prof.h) and
+// merges its span buffer into the trace as an extra "host wall clock"
+// process group — virtual swimlanes and real engine time side by side.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -16,6 +20,7 @@
 
 #include "bench/common/workloads.h"
 #include "src/obs/chrome_trace.h"
+#include "src/obs/prof.h"
 #include "src/obs/stats.h"
 #include "src/obs/trace.h"
 
@@ -44,7 +49,8 @@ bool ParseConfig(const char* s, Config* out) {
 int Usage(const char* argv0) {
   fprintf(stderr,
           "usage: %s [--config in-kernel|server|library-ipc|library-shm|library-shm-ipf]\n"
-          "          [--proto udp|tcp] [--size BYTES] [--trials N] [--out FILE] [--stats]\n",
+          "          [--proto udp|tcp] [--size BYTES] [--trials N] [--out FILE] [--stats]\n"
+          "          [--host-prof]\n",
           argv0);
   return 2;
 }
@@ -59,6 +65,7 @@ int main(int argc, char** argv) {
   opt.trials = 10;
   std::string out_path = "trace.json";
   bool dump_stats = false;
+  bool host_prof = false;
 
   for (int i = 1; i < argc; i++) {
     auto need = [&](const char* flag) -> const char* {
@@ -92,6 +99,8 @@ int main(int argc, char** argv) {
       out_path = need("--out");
     } else if (strcmp(argv[i], "--stats") == 0) {
       dump_stats = true;
+    } else if (strcmp(argv[i], "--host-prof") == 0) {
+      host_prof = true;
     } else {
       fprintf(stderr, "unknown flag '%s'\n", argv[i]);
       return Usage(argv[0]);
@@ -115,7 +124,26 @@ int main(int argc, char** argv) {
     };
   }
 
+#ifndef PSD_OBS_DISABLE_PROF
+  if (host_prof) {
+    HostProfiler::Get().RecordSpans(1 << 20);
+    HostProfiler::Get().Start();
+  }
+#endif
   double rtt_ms = RunProtolatTraced(config, MachineProfile::DecStation5000(), opt, hooks);
+#ifndef PSD_OBS_DISABLE_PROF
+  if (host_prof) {
+    HostProfiler::Get().Stop();
+    HostProfReport rep = HostProfiler::Get().Snapshot();
+    sink.AddHostSpans(rep);
+    printf("host profile: %.1f ms wall, %.1f%% attributed, %zu host spans merged\n",
+           rep.wall_ns / 1e6, rep.attributed_pct(), rep.spans.size());
+  }
+#else
+  if (host_prof) {
+    fprintf(stderr, "--host-prof ignored: built with PSD_OBS_DISABLE_PROF\n");
+  }
+#endif
   if (rtt_ms < 0) {
     fprintf(stderr, "protolat run did not complete\n");
     return 1;
