@@ -97,6 +97,10 @@ const char* ErrName(Err e) {
       return "EMFILE";
     case Err::kIntr:
       return "EINTR";
+    case Err::kProto:
+      return "EPROTO";
+    case Err::kEof:
+      return "EOF";
   }
   return "E?";
 }

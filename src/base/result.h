@@ -39,6 +39,11 @@ enum class Err {
   kPipe,            // EPIPE: send on closed stream
   kMFile,           // EMFILE: descriptor table full
   kIntr,            // EINTR
+  kProto,           // EPROTO: framing/protocol violation (adapter layer)
+  // Not an errno: a protocol adapter's "peer closed cleanly at a message
+  // boundary". Distinct from a zero-length message (which RecvMsg reports
+  // as a successful 0) and from kProto (stream died mid-message).
+  kEof,
 };
 
 // Human-readable errno-style name, for logs and test failure messages.

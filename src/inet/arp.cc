@@ -4,6 +4,7 @@
 
 #include "src/base/bytes.h"
 #include "src/base/log.h"
+#include "src/obs/journey.h"
 #include "src/obs/metastate.h"
 
 namespace psd {
@@ -30,7 +31,18 @@ MacResolver::Status ArpLayer::Resolve(Ipv4Addr next_hop, MacAddr* out, Chain* pe
   }
   MetastateLedger::Get().Count(MetaEvent::kArpMiss);
   if (static_cast<int>(e.hold.size()) >= kMaxHold) {
-    return Status::kFail;
+    // BSD arpresolve semantics: a saturated hold queue silently drops the
+    // oldest held packet and keeps the newest — never an error to the
+    // sender. Transports recover by retransmission; surfacing a hard
+    // failure here would abort TCP connects whenever >kMaxHold segments
+    // race one unresolved entry (any placement whose connections share a
+    // stack hits this on a cold cache). Held chains pre-date frame
+    // creation, so there is no journey id to terminate — ledger with id 0
+    // like the other pre-frame tx drops.
+    e.hold.pop_front();
+    hold_drops_++;
+    DropLedger::Get().Record(0, TraceLayer::kInet, DropReason::kEtherUnresolved, env_->Now(),
+                             env_->node_name);
   }
   e.resolved = false;
   e.hold.push_back(std::move(*pending));

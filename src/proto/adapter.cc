@@ -1,0 +1,71 @@
+#include "src/proto/adapter.h"
+
+#include "src/obs/stats.h"
+
+namespace psd {
+
+Result<void> ReadFull(ByteStream* s, uint8_t* out, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    Result<size_t> n = s->Read(out + got, len - got);
+    if (!n.ok()) {
+      return n.error();
+    }
+    if (*n == 0) {
+      return got == 0 ? Err::kEof : Err::kProto;
+    }
+    got += *n;
+  }
+  return OkResult();
+}
+
+Result<void> WriteFull(ByteStream* s, const uint8_t* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    Result<size_t> n = s->Write(data + sent, len - sent);
+    if (!n.ok()) {
+      return n.error();
+    }
+    if (*n == 0) {
+      return Err::kPipe;
+    }
+    sent += *n;
+  }
+  return OkResult();
+}
+
+bool SockDgram::WaitReadable(SimDuration timeout) {
+  SelectFds fds;
+  fds.read.push_back(fd_);
+  Result<int> r = api_->Select(&fds, timeout);
+  return r.ok() && *r > 0 && !fds.read_ready.empty() && fds.read_ready[0];
+}
+
+void ProtoCounters::ExportStats(StatsRegistry* reg, const std::string& prefix) const {
+  auto gauge = [&](const char* name, const uint64_t* v) {
+    reg->RegisterGauge(prefix + "." + name, [v] { return *v; });
+  };
+  gauge("msgs_in", &msgs_in);
+  gauge("msgs_out", &msgs_out);
+  gauge("bytes_in", &bytes_in);
+  gauge("bytes_out", &bytes_out);
+  gauge("frame_errors", &frame_errors);
+  gauge("oversize", &oversize);
+  gauge("truncated", &truncated);
+  gauge("resyncs", &resyncs);
+  gauge("rpc_calls", &rpc_calls);
+  gauge("rpc_replies", &rpc_replies);
+  gauge("rpc_id_mismatch", &rpc_id_mismatch);
+  gauge("rpc_bad_payload", &rpc_bad_payload);
+  gauge("dns_queries", &dns_queries);
+  gauge("dns_retries", &dns_retries);
+  gauge("dns_answers", &dns_answers);
+  gauge("dns_failures", &dns_failures);
+  gauge("dns_stale", &dns_stale);
+  gauge("dns_bad", &dns_bad);
+  gauge("switch_started", &switch_started);
+  gauge("switch_completed", &switch_completed);
+  gauge("switch_refused", &switch_refused);
+}
+
+}  // namespace psd

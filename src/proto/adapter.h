@@ -1,0 +1,143 @@
+// Composable protocol adapters over SocketApi (dsock-style vertical
+// composition, see ROADMAP item 5). The layer splits transports the way
+// dsock does:
+//
+//   * ByteStream — a reliable ordered byte pipe with no message boundaries
+//     (TCP). Reads and writes may be partial; ReadFull/WriteFull loop.
+//   * MsgStream  — atomic messages over a reliable substrate. Framing
+//     adapters (PfxStream, CrlfStream in framing.h) turn a ByteStream into
+//     a MsgStream; application protocols (rpc.h) stack on MsgStream and
+//     never see bytes.
+//   * SockDgram  — an unreliable, unordered message endpoint (UDP) with a
+//     readiness timeout, the substrate for query/retry protocols (dns.h).
+//
+// Every adapter is a small object over the layer below, stackable on any
+// placement's sockets: the bottom of a stack is SockByteStream/SockDgram
+// over a (SocketApi*, fd) pair, so the same composed protocol runs
+// unchanged whether the protocols live in the kernel, a server task, or
+// the application's library.
+//
+// Error contract: adapters fail cleanly, never silently resynchronize
+// unless asked. A framing violation poisons the adapter (every later call
+// returns Err::kProto); a clean peer close at a message boundary is
+// Err::kEof; Err::kMsgSize is a caller-side capacity problem and does NOT
+// poison. Adapters never read out of bounds regardless of input (the
+// framing fuzz tests run the parsers under ASan to hold them to this).
+#ifndef PSD_SRC_PROTO_ADAPTER_H_
+#define PSD_SRC_PROTO_ADAPTER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/api/socket_api.h"
+#include "src/base/result.h"
+
+namespace psd {
+
+class StatsRegistry;
+
+// Shared counter block, one per adapter stack (or one per traffic mix —
+// the owner decides the aggregation scope). Plain counters so adapters
+// stay cheap; ExportStats registers them as "proto.<prefix>.*" gauges.
+struct ProtoCounters {
+  // Framing (pfx/crlf).
+  uint64_t msgs_in = 0;
+  uint64_t msgs_out = 0;
+  uint64_t bytes_in = 0;    // payload bytes, framing overhead excluded
+  uint64_t bytes_out = 0;
+  uint64_t frame_errors = 0;  // framing violations (poisoned adapters)
+  uint64_t oversize = 0;      // length-prefix beyond the adapter's bound
+  uint64_t truncated = 0;     // EOF mid-message
+  uint64_t resyncs = 0;       // crlf garbage bursts skipped (resync mode)
+  // Request/response RPC (rpc.h).
+  uint64_t rpc_calls = 0;
+  uint64_t rpc_replies = 0;
+  uint64_t rpc_id_mismatch = 0;  // reply id with no outstanding call
+  uint64_t rpc_bad_payload = 0;  // reply content failed validation
+  // DNS-like UDP query protocol (dns.h).
+  uint64_t dns_queries = 0;  // first transmissions
+  uint64_t dns_retries = 0;  // retransmissions after timeout
+  uint64_t dns_answers = 0;  // queries resolved with a validated answer
+  uint64_t dns_failures = 0;  // queries abandoned after the retry budget
+  uint64_t dns_stale = 0;     // replies for an id no longer outstanding
+  uint64_t dns_bad = 0;       // malformed or content-invalid replies
+  // In-band protocol switch (pswitch.h).
+  uint64_t switch_started = 0;
+  uint64_t switch_completed = 0;
+  uint64_t switch_refused = 0;  // handshake reply was not OK
+
+  void ExportStats(StatsRegistry* reg, const std::string& prefix) const;
+};
+
+// --- Bytestream side ---
+
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+  // Blocks until >= 1 byte is available; returns 0 on EOF. Short reads are
+  // normal (this is the contract framing adapters are built against).
+  virtual Result<size_t> Read(uint8_t* out, size_t len) = 0;
+  // May write fewer than `len` bytes; WriteFull loops.
+  virtual Result<size_t> Write(const uint8_t* data, size_t len) = 0;
+};
+
+// Reads exactly `len` bytes. EOF before the first byte is Err::kEof; EOF
+// mid-way is Err::kProto (the caller asked for bytes the peer committed to).
+Result<void> ReadFull(ByteStream* s, uint8_t* out, size_t len);
+Result<void> WriteFull(ByteStream* s, const uint8_t* data, size_t len);
+
+// The bottom of every TCP adapter stack: a ByteStream over a connected
+// socket descriptor. Does not own the fd.
+class SockByteStream : public ByteStream {
+ public:
+  SockByteStream(SocketApi* api, int fd) : api_(api), fd_(fd) {}
+  Result<size_t> Read(uint8_t* out, size_t len) override { return api_->Recv(fd_, out, len); }
+  Result<size_t> Write(const uint8_t* data, size_t len) override {
+    return api_->Send(fd_, data, len);
+  }
+  SocketApi* api() const { return api_; }
+  int fd() const { return fd_; }
+
+ private:
+  SocketApi* api_;
+  int fd_;
+};
+
+// --- Message side ---
+
+class MsgStream {
+ public:
+  virtual ~MsgStream() = default;
+  // Blocks for the next whole message; returns its length (0-length
+  // messages are legal where the framing can express them). Err::kEof on
+  // clean close at a boundary, Err::kMsgSize if `cap` is too small for a
+  // well-formed message (not consumed, not poisoned), Err::kProto on a
+  // framing violation (poisoned).
+  virtual Result<size_t> RecvMsg(uint8_t* out, size_t cap) = 0;
+  virtual Result<void> SendMsg(const uint8_t* data, size_t len) = 0;
+};
+
+// An unreliable datagram endpoint with a readiness timeout — what a
+// query/retry protocol needs from UDP. Does not own the fd.
+class SockDgram {
+ public:
+  SockDgram(SocketApi* api, int fd) : api_(api), fd_(fd) {}
+  Result<size_t> SendTo(const uint8_t* data, size_t len, const SockAddrIn& to) {
+    return api_->Send(fd_, data, len, &to);
+  }
+  Result<size_t> RecvFrom(uint8_t* out, size_t cap, SockAddrIn* from) {
+    return api_->Recv(fd_, out, cap, from);
+  }
+  // True when a datagram is waiting; false on timeout.
+  bool WaitReadable(SimDuration timeout);
+  SocketApi* api() const { return api_; }
+  int fd() const { return fd_; }
+
+ private:
+  SocketApi* api_;
+  int fd_;
+};
+
+}  // namespace psd
+
+#endif  // PSD_SRC_PROTO_ADAPTER_H_

@@ -1,0 +1,122 @@
+#include "src/proto/dns.h"
+
+#include <vector>
+
+#include "src/base/rng.h"
+
+namespace psd {
+
+namespace {
+
+void PutId(uint8_t* p, uint64_t id) {
+  for (int i = 0; i < 8; i++) {
+    p[i] = static_cast<uint8_t>(id >> (8 * i));
+  }
+}
+
+uint64_t GetId(const uint8_t* p) {
+  uint64_t id = 0;
+  for (int i = 0; i < 8; i++) {
+    id |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return id;
+}
+
+}  // namespace
+
+uint64_t DnsServeLoop(SockDgram* sock, const bool* stop, SimDuration poll,
+                      ProtoCounters* counters) {
+  std::vector<uint8_t> buf(kDnsHeaderLen + kDnsMaxPayload + 64);
+  uint64_t answered = 0;
+  for (;;) {
+    if (!sock->WaitReadable(poll)) {
+      if (*stop) {
+        return answered;  // one quiet poll window after the clients finished
+      }
+      continue;
+    }
+    SockAddrIn from;
+    Result<size_t> n = sock->RecvFrom(buf.data(), buf.size(), &from);
+    if (!n.ok()) {
+      return answered;
+    }
+    if (*n < kDnsHeaderLen || *n > kDnsHeaderLen + kDnsMaxPayload) {
+      continue;  // runt/overlong query: a datagram server drops, never dies
+    }
+    for (size_t i = kDnsHeaderLen; i < *n; i++) {
+      buf[i] ^= kDnsTransform;
+    }
+    sock->SendTo(buf.data(), *n, from);
+    answered++;
+    if (counters != nullptr) {
+      counters->msgs_in++;
+      counters->msgs_out++;
+    }
+  }
+}
+
+DnsOutcome DnsResolve(SockDgram* sock, const SockAddrIn& server, uint64_t id, uint64_t seed,
+                      size_t payload_len, int retries, SimDuration timeout,
+                      ProtoCounters* counters) {
+  DnsOutcome out;
+  std::vector<uint8_t> query(kDnsHeaderLen + payload_len);
+  PutId(query.data(), id);
+  Rng gen = Rng::Stream(seed, id);
+  for (size_t i = 0; i < payload_len; i++) {
+    query[kDnsHeaderLen + i] = static_cast<uint8_t>(gen.Next());
+  }
+  std::vector<uint8_t> reply(kDnsHeaderLen + kDnsMaxPayload + 64);
+
+  for (int attempt = 0; attempt <= retries; attempt++) {
+    sock->SendTo(query.data(), query.size(), server);
+    out.transmissions++;
+    if (counters != nullptr) {
+      if (attempt == 0) {
+        counters->dns_queries++;
+      } else {
+        counters->dns_retries++;
+      }
+    }
+    // Wait out this attempt's window; stale or invalid replies don't
+    // consume it (each drains and waits again).
+    while (sock->WaitReadable(timeout)) {
+      Result<size_t> n = sock->RecvFrom(reply.data(), reply.size(), nullptr);
+      if (!n.ok()) {
+        break;
+      }
+      if (*n < kDnsHeaderLen) {
+        if (counters != nullptr) {
+          counters->dns_bad++;
+        }
+        continue;
+      }
+      if (GetId(reply.data()) != id) {
+        if (counters != nullptr) {
+          counters->dns_stale++;  // an answer to an abandoned attempt
+        }
+        continue;
+      }
+      bool valid = *n == query.size();
+      for (size_t i = kDnsHeaderLen; valid && i < *n; i++) {
+        valid = reply[i] == static_cast<uint8_t>(query[i] ^ kDnsTransform);
+      }
+      if (!valid) {
+        if (counters != nullptr) {
+          counters->dns_bad++;
+        }
+        continue;
+      }
+      out.resolved = true;
+      if (counters != nullptr) {
+        counters->dns_answers++;
+      }
+      return out;
+    }
+  }
+  if (counters != nullptr) {
+    counters->dns_failures++;
+  }
+  return out;
+}
+
+}  // namespace psd

@@ -1,0 +1,44 @@
+// A DNS-like query/retry protocol over unreliable datagrams (SockDgram).
+//
+// Wire format: [8B id, little-endian][payload...]. The server answers with
+// the same id and the payload bytes XOR kDnsTransform — a pure function of
+// the query, so the client validates every answer from its own books.
+//
+// The client retransmits on a virtual-time timeout, up to a retry budget;
+// late answers to an id that already resolved (or was abandoned) are
+// counted stale and ignored — the classic datagram-protocol discipline the
+// torture wire (loss, duplication, reorder) exists to exercise.
+#ifndef PSD_SRC_PROTO_DNS_H_
+#define PSD_SRC_PROTO_DNS_H_
+
+#include <cstdint>
+
+#include "src/base/time.h"
+#include "src/proto/adapter.h"
+
+namespace psd {
+
+constexpr uint8_t kDnsTransform = 0xA5;
+constexpr size_t kDnsHeaderLen = 8;
+constexpr size_t kDnsMaxPayload = 512;
+
+// Serves queries until *stop becomes true (checked between datagrams; the
+// loop polls readiness every `poll` of virtual time). Returns answers sent.
+uint64_t DnsServeLoop(SockDgram* sock, const bool* stop, SimDuration poll,
+                      ProtoCounters* counters);
+
+struct DnsOutcome {
+  bool resolved = false;
+  int transmissions = 0;  // 1 + retries actually used
+};
+
+// Issues one query and waits for a validated answer, retransmitting after
+// `timeout` up to `retries` extra times. Seeded payload from
+// Rng::Stream(seed, id). Returns resolved=false only after the full budget.
+DnsOutcome DnsResolve(SockDgram* sock, const SockAddrIn& server, uint64_t id, uint64_t seed,
+                      size_t payload_len, int retries, SimDuration timeout,
+                      ProtoCounters* counters);
+
+}  // namespace psd
+
+#endif  // PSD_SRC_PROTO_DNS_H_

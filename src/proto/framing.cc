@@ -1,0 +1,261 @@
+#include "src/proto/framing.h"
+
+#include <cstring>
+
+namespace psd {
+
+namespace {
+// Reading granularity. Small enough that adapters never hoard the socket
+// buffer, big enough that a busy stream doesn't syscall per byte.
+constexpr size_t kReadChunk = 2048;
+// Compact the consumed prefix once it dominates the buffer.
+constexpr size_t kCompactAt = 16 * 1024;
+}  // namespace
+
+void BufferedFramer::Consume(size_t n) {
+  pos_ += n;
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ >= kCompactAt) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+}
+
+Result<void> BufferedFramer::FillTo(size_t want) {
+  while (buf_.size() - pos_ < want && !eof_) {
+    size_t need = want - (buf_.size() - pos_);
+    size_t chunk = need > kReadChunk ? need : kReadChunk;
+    size_t old = buf_.size();
+    buf_.resize(old + chunk);
+    Result<size_t> n = base_->Read(buf_.data() + old, chunk);
+    if (!n.ok()) {
+      buf_.resize(old);
+      return n.error();
+    }
+    buf_.resize(old + *n);
+    if (*n == 0) {
+      eof_ = true;
+    }
+  }
+  return OkResult();
+}
+
+void BufferedFramer::TakeResidual(std::vector<uint8_t>* out) {
+  out->assign(buf_.begin() + static_cast<ptrdiff_t>(pos_), buf_.end());
+  buf_.clear();
+  pos_ = 0;
+  detached_ = true;
+}
+
+void BufferedFramer::SeedResidual(const std::vector<uint8_t>& bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+// --- Length-prefix framing ---
+
+Result<size_t> PfxStream::RecvMsg(uint8_t* out, size_t cap) {
+  if (Result<void> u = CheckUsable(); !u.ok()) {
+    return u.error();
+  }
+  if (Result<void> r = FillTo(kHeaderLen); !r.ok()) {
+    return r.error();
+  }
+  size_t live = buf_.size() - pos_;
+  if (live == 0) {
+    return Err::kEof;  // clean close at a message boundary
+  }
+  if (live < kHeaderLen) {
+    if (counters_ != nullptr) {
+      counters_->truncated++;
+    }
+    return Poison(Err::kProto);  // EOF mid-header
+  }
+  const uint8_t* h = buf_.data() + pos_;
+  size_t len = static_cast<size_t>(h[0]) << 24 | static_cast<size_t>(h[1]) << 16 |
+               static_cast<size_t>(h[2]) << 8 | static_cast<size_t>(h[3]);
+  if (len > max_msg_) {
+    // The peer is speaking some other protocol (or the length bytes are
+    // garbage); consuming `len` would read unbounded junk. Fail before
+    // touching the payload.
+    if (counters_ != nullptr) {
+      counters_->oversize++;
+    }
+    return Poison(Err::kProto);
+  }
+  if (len > cap) {
+    return Err::kMsgSize;  // caller buffer too small; message left intact
+  }
+  if (Result<void> r = FillTo(kHeaderLen + len); !r.ok()) {
+    return r.error();
+  }
+  if (buf_.size() - pos_ < kHeaderLen + len) {
+    if (counters_ != nullptr) {
+      counters_->truncated++;
+    }
+    return Poison(Err::kProto);  // EOF mid-payload
+  }
+  if (len > 0) {
+    std::memcpy(out, buf_.data() + pos_ + kHeaderLen, len);
+  }
+  Consume(kHeaderLen + len);
+  if (counters_ != nullptr) {
+    counters_->msgs_in++;
+    counters_->bytes_in += len;
+  }
+  return len;
+}
+
+Result<void> PfxStream::SendMsg(const uint8_t* data, size_t len) {
+  if (Result<void> u = CheckUsable(); !u.ok()) {
+    return u;
+  }
+  if (len > max_msg_) {
+    return Err::kMsgSize;
+  }
+  uint8_t h[kHeaderLen] = {static_cast<uint8_t>(len >> 24), static_cast<uint8_t>(len >> 16),
+                           static_cast<uint8_t>(len >> 8), static_cast<uint8_t>(len)};
+  if (Result<void> r = WriteFull(base_, h, kHeaderLen); !r.ok()) {
+    return r;
+  }
+  if (len > 0) {
+    if (Result<void> r = WriteFull(base_, data, len); !r.ok()) {
+      return r;
+    }
+  }
+  if (counters_ != nullptr) {
+    counters_->msgs_out++;
+    counters_->bytes_out += len;
+  }
+  return OkResult();
+}
+
+// --- CRLF line framing ---
+
+Result<size_t> CrlfStream::RecvMsg(uint8_t* out, size_t cap) {
+  if (Result<void> u = CheckUsable(); !u.ok()) {
+    return u.error();
+  }
+  for (;;) {
+    // Scan the live window for the first "\r\n".
+    size_t live = buf_.size() - pos_;
+    const uint8_t* p = buf_.data() + pos_;
+    size_t term = live;  // index (relative to pos_) of '\r' in the terminator
+    for (size_t i = 0; i + 1 < live; i++) {
+      if (p[i] == '\r' && p[i + 1] == '\n') {
+        term = i;
+        break;
+      }
+    }
+
+    if (skipping_) {
+      if (term < live) {
+        // Garbage burst ends here: drop it, terminator included, and go
+        // parse the next real line.
+        Consume(term + 2);
+        skipping_ = false;
+        if (counters_ != nullptr) {
+          counters_->resyncs++;
+        }
+        continue;
+      }
+      // No terminator in the window: all of it is garbage. Keep a trailing
+      // '\r' — the '\n' may be the next byte to arrive.
+      size_t drop = live;
+      if (drop > 0 && p[drop - 1] == '\r') {
+        drop--;
+      }
+      Consume(drop);
+      if (eof()) {
+        if (counters_ != nullptr) {
+          counters_->truncated++;
+        }
+        return Poison(Err::kProto);  // the garbage never terminated
+      }
+      if (Result<void> r = FillTo(buf_.size() - pos_ + 1); !r.ok()) {
+        return r.error();
+      }
+      continue;
+    }
+
+    if (term < live) {
+      if (term > max_msg_) {
+        // Overlong even though terminated (scan outran the bound before the
+        // terminator was buffered on a previous pass).
+        if (resync_) {
+          Consume(term + 2);
+          if (counters_ != nullptr) {
+            counters_->resyncs++;
+          }
+          continue;
+        }
+        return Poison(Err::kProto);
+      }
+      if (term > cap) {
+        return Err::kMsgSize;  // line intact, caller may retry bigger
+      }
+      if (term > 0) {
+        std::memcpy(out, p, term);
+      }
+      Consume(term + 2);
+      if (counters_ != nullptr) {
+        counters_->msgs_in++;
+        counters_->bytes_in += term;
+      }
+      return term;
+    }
+
+    // No terminator yet. A line longer than max_msg_ cannot be valid: at
+    // max_msg_+2 unterminated bytes the prefix is provably garbage.
+    if (live >= max_msg_ + 2) {
+      if (resync_) {
+        skipping_ = true;
+        continue;
+      }
+      return Poison(Err::kProto);
+    }
+    if (eof()) {
+      if (live == 0) {
+        return Err::kEof;  // clean close at a line boundary
+      }
+      if (counters_ != nullptr) {
+        counters_->truncated++;
+      }
+      return Poison(Err::kProto);  // EOF mid-line
+    }
+    if (Result<void> r = FillTo(live + 1); !r.ok()) {
+      return r.error();
+    }
+  }
+}
+
+Result<void> CrlfStream::SendMsg(const uint8_t* data, size_t len) {
+  if (Result<void> u = CheckUsable(); !u.ok()) {
+    return u;
+  }
+  if (len > max_msg_) {
+    return Err::kMsgSize;
+  }
+  for (size_t i = 0; i < len; i++) {
+    if (data[i] == '\r' || data[i] == '\n') {
+      return Err::kInval;  // CR/LF cannot be framed by a line protocol
+    }
+  }
+  if (len > 0) {
+    if (Result<void> r = WriteFull(base_, data, len); !r.ok()) {
+      return r;
+    }
+  }
+  static const uint8_t kCrlf[2] = {'\r', '\n'};
+  if (Result<void> r = WriteFull(base_, kCrlf, 2); !r.ok()) {
+    return r;
+  }
+  if (counters_ != nullptr) {
+    counters_->msgs_out++;
+    counters_->bytes_out += len;
+  }
+  return OkResult();
+}
+
+}  // namespace psd

@@ -1,0 +1,116 @@
+// Framing adapters: turn a ByteStream into a MsgStream.
+//
+//   * PfxStream  — 4-byte big-endian length prefix, then the payload.
+//     Binary-safe; 0-length messages are legal. A prefix larger than the
+//     adapter's bound is a framing violation (the peer is speaking a
+//     different protocol) and poisons the stream.
+//   * CrlfStream — messages are lines terminated by exactly "\r\n" (a bare
+//     CR or LF is ordinary data). Lines cannot contain CR or LF. In resync
+//     mode the parser skips garbage until the next terminator instead of
+//     poisoning — the "garbage-before-sync" recovery a line protocol can
+//     offer and a length-prefixed one cannot.
+//
+// Both adapters buffer reads internally, so they support the in-band
+// protocol switch (pswitch.h): TakeResidual() detaches the bytes that were
+// read past the last parsed message and hands them to the successor
+// protocol on the same connection.
+#ifndef PSD_SRC_PROTO_FRAMING_H_
+#define PSD_SRC_PROTO_FRAMING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/proto/adapter.h"
+
+namespace psd {
+
+// Shared read-buffer machinery (not an adapter itself).
+class BufferedFramer : public MsgStream {
+ public:
+  BufferedFramer(ByteStream* base, size_t max_msg, ProtoCounters* counters)
+      : base_(base), max_msg_(max_msg), counters_(counters) {}
+
+  // Unparsed bytes read past the last message boundary. Emptied into `out`;
+  // the adapter is detached afterwards: every later call fails with
+  // Err::kProto (a switched-away-from protocol must never consume bytes
+  // that belong to its successor).
+  void TakeResidual(std::vector<uint8_t>* out);
+  // Seeds the buffer with bytes a predecessor protocol already read (the
+  // other half of the switch handshake).
+  void SeedResidual(const std::vector<uint8_t>& bytes);
+
+  bool poisoned() const { return poisoned_; }
+  bool detached() const { return detached_; }
+  size_t max_msg() const { return max_msg_; }
+
+ protected:
+  // Grows the buffer until it holds >= want bytes (short reads welcome).
+  // Err::kEof only when EOF hits with an empty buffer and nothing parsed
+  // yet this call; mid-message EOF is the caller's business (it sees the
+  // short buffer).
+  Result<void> FillTo(size_t want);
+  // True when the underlying stream hit EOF (buffer may still hold bytes).
+  bool eof() const { return eof_; }
+  Err Poison(Err e) {
+    poisoned_ = true;
+    if (counters_ != nullptr) {
+      counters_->frame_errors++;
+    }
+    return e;
+  }
+  Result<void> CheckUsable() const {
+    if (detached_ || poisoned_) {
+      return Err::kProto;
+    }
+    return OkResult();
+  }
+  void Consume(size_t n);
+
+  ByteStream* base_;
+  size_t max_msg_;
+  ProtoCounters* counters_;
+  std::vector<uint8_t> buf_;  // [pos_, buf_.size()) is live
+  size_t pos_ = 0;
+
+ private:
+  bool eof_ = false;
+  bool poisoned_ = false;
+  bool detached_ = false;
+};
+
+class PfxStream : public BufferedFramer {
+ public:
+  static constexpr size_t kHeaderLen = 4;
+  static constexpr size_t kDefaultMaxMsg = 1 << 20;
+
+  PfxStream(ByteStream* base, size_t max_msg = kDefaultMaxMsg,
+            ProtoCounters* counters = nullptr)
+      : BufferedFramer(base, max_msg, counters) {}
+
+  Result<size_t> RecvMsg(uint8_t* out, size_t cap) override;
+  Result<void> SendMsg(const uint8_t* data, size_t len) override;
+};
+
+class CrlfStream : public BufferedFramer {
+ public:
+  static constexpr size_t kDefaultMaxLine = 4096;
+
+  // `resync`: skip-to-next-terminator instead of poisoning, both for
+  // garbage before the first line and for overlong lines. Off by default:
+  // a well-behaved peer never needs it, and silent resync would hide real
+  // corruption.
+  CrlfStream(ByteStream* base, size_t max_line = kDefaultMaxLine,
+             ProtoCounters* counters = nullptr, bool resync = false)
+      : BufferedFramer(base, max_line, counters), resync_(resync) {}
+
+  Result<size_t> RecvMsg(uint8_t* out, size_t cap) override;
+  Result<void> SendMsg(const uint8_t* data, size_t len) override;
+
+ private:
+  bool resync_;
+  bool skipping_ = false;  // mid-resync: discarding until the next CRLF
+};
+
+}  // namespace psd
+
+#endif  // PSD_SRC_PROTO_FRAMING_H_

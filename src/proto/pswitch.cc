@@ -1,0 +1,67 @@
+#include "src/proto/pswitch.h"
+
+#include <cstring>
+#include <vector>
+
+namespace psd {
+
+const char kSwitchRequest[] = "STARTPFX";
+const char kSwitchOk[] = "OK";
+
+namespace {
+
+std::unique_ptr<PfxStream> HandOver(CrlfStream* crlf, ByteStream* base, size_t max_msg,
+                                    ProtoCounters* counters) {
+  std::vector<uint8_t> residual;
+  crlf->TakeResidual(&residual);
+  auto pfx = std::make_unique<PfxStream>(base, max_msg, counters);
+  pfx->SeedResidual(residual);
+  return pfx;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<PfxStream>> RequestSwitch(CrlfStream* crlf, ByteStream* base,
+                                                 size_t max_msg, ProtoCounters* counters) {
+  if (counters != nullptr) {
+    counters->switch_started++;
+  }
+  const uint8_t* req = reinterpret_cast<const uint8_t*>(kSwitchRequest);
+  if (Result<void> r = crlf->SendMsg(req, std::strlen(kSwitchRequest)); !r.ok()) {
+    return r.error();
+  }
+  uint8_t reply[64];
+  Result<size_t> n = crlf->RecvMsg(reply, sizeof(reply));
+  if (!n.ok()) {
+    return n.error();
+  }
+  if (*n != std::strlen(kSwitchOk) || std::memcmp(reply, kSwitchOk, *n) != 0) {
+    if (counters != nullptr) {
+      counters->switch_refused++;
+    }
+    return Err::kProto;
+  }
+  auto pfx = HandOver(crlf, base, max_msg, counters);
+  if (counters != nullptr) {
+    counters->switch_completed++;
+  }
+  return pfx;
+}
+
+Result<std::unique_ptr<PfxStream>> AcceptSwitch(CrlfStream* crlf, ByteStream* base,
+                                                size_t max_msg, ProtoCounters* counters) {
+  if (counters != nullptr) {
+    counters->switch_started++;
+  }
+  const uint8_t* ok = reinterpret_cast<const uint8_t*>(kSwitchOk);
+  if (Result<void> r = crlf->SendMsg(ok, std::strlen(kSwitchOk)); !r.ok()) {
+    return r.error();
+  }
+  auto pfx = HandOver(crlf, base, max_msg, counters);
+  if (counters != nullptr) {
+    counters->switch_completed++;
+  }
+  return pfx;
+}
+
+}  // namespace psd

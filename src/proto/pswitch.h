@@ -1,0 +1,44 @@
+// In-band protocol switch (horizontal composition, dsock terminology):
+// a STARTTLS-style handshake that hands a live connection from CRLF line
+// framing to length-prefix framing mid-stream.
+//
+//   client: "STARTPFX\r\n"  ------------->
+//           <-------------  "OK\r\n"  :server
+//   ...both sides speak pfx on the same connection from here on...
+//
+// The hard part is the residual: either side's line parser may already
+// have buffered bytes past the handshake line (the peer is allowed to
+// pipeline pfx frames right behind its half of the handshake). Both
+// helpers move that residual into the successor PfxStream, and detach the
+// CrlfStream so a stale reference can never consume the successor's bytes
+// — which is also what makes "the switch completes exactly once" a
+// checkable invariant: a second attempt on the same connection fails with
+// Err::kProto instead of silently renegotiating.
+#ifndef PSD_SRC_PROTO_PSWITCH_H_
+#define PSD_SRC_PROTO_PSWITCH_H_
+
+#include <memory>
+
+#include "src/proto/framing.h"
+
+namespace psd {
+
+// Handshake lines (CRLF terminator supplied by the framing).
+extern const char kSwitchRequest[];  // "STARTPFX"
+extern const char kSwitchOk[];       // "OK"
+
+// Client half: sends the request, waits for OK, detaches `crlf` and
+// returns the successor adapter (residual carried over). On a non-OK reply
+// the switch is refused: `crlf` stays usable and the caller keeps speaking
+// lines. Transport errors propagate.
+Result<std::unique_ptr<PfxStream>> RequestSwitch(CrlfStream* crlf, ByteStream* base,
+                                                 size_t max_msg, ProtoCounters* counters);
+
+// Server half, called after the caller's line loop has already consumed a
+// kSwitchRequest line: acknowledges and hands over. Never refuses.
+Result<std::unique_ptr<PfxStream>> AcceptSwitch(CrlfStream* crlf, ByteStream* base,
+                                                size_t max_msg, ProtoCounters* counters);
+
+}  // namespace psd
+
+#endif  // PSD_SRC_PROTO_PSWITCH_H_

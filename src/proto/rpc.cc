@@ -1,0 +1,148 @@
+#include "src/proto/rpc.h"
+
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/rng.h"
+
+namespace psd {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t Fnv1a(const uint8_t* p, size_t n) {
+  uint64_t h = kFnvOffset;
+  for (size_t i = 0; i < n; i++) {
+    h = (h ^ p[i]) * kFnvPrime;
+  }
+  return h;
+}
+
+void PutId(uint8_t* p, uint64_t id) {
+  for (int i = 0; i < 8; i++) {
+    p[i] = static_cast<uint8_t>(id >> (8 * i));
+  }
+}
+
+uint64_t GetId(const uint8_t* p) {
+  uint64_t id = 0;
+  for (int i = 0; i < 8; i++) {
+    id |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return id;
+}
+
+}  // namespace
+
+Result<uint64_t> RpcServeLoop(MsgStream* m, size_t max_payload, ProtoCounters* counters) {
+  std::vector<uint8_t> buf(kRpcHeaderLen + max_payload);
+  uint64_t served = 0;
+  for (;;) {
+    Result<size_t> n = m->RecvMsg(buf.data(), buf.size());
+    if (!n.ok()) {
+      if (n.error() == Err::kEof) {
+        return served;
+      }
+      return n.error();
+    }
+    if (*n < kRpcHeaderLen || buf[8] != kRpcRequest) {
+      return Err::kProto;  // runt or not a request: the peer lost the plot
+    }
+    // Deterministic service: flip the payload, echo the id.
+    for (size_t i = kRpcHeaderLen; i < *n; i++) {
+      buf[i] ^= kRpcTransform;
+    }
+    buf[8] = kRpcResponse;
+    if (Result<void> r = m->SendMsg(buf.data(), *n); !r.ok()) {
+      return r.error();
+    }
+    served++;
+    if (counters != nullptr) {
+      counters->rpc_replies++;
+    }
+  }
+}
+
+RpcClientOutcome RpcRunPipelined(MsgStream* m, uint64_t seed, uint64_t conn_tag, int calls,
+                                 int window, size_t min_payload, size_t max_payload,
+                                 ProtoCounters* counters) {
+  RpcClientOutcome out;
+  // id -> FNV of the expected (transformed) response payload.
+  std::unordered_map<uint64_t, uint64_t> outstanding;
+  std::vector<uint8_t> req(kRpcHeaderLen + max_payload);
+  std::vector<uint8_t> resp(kRpcHeaderLen + max_payload);
+
+  auto recv_one = [&]() -> bool {
+    Result<size_t> n = m->RecvMsg(resp.data(), resp.size());
+    if (!n.ok()) {
+      out.error = n.error();
+      return false;
+    }
+    if (*n < kRpcHeaderLen || resp[8] != kRpcResponse) {
+      out.error = Err::kProto;
+      return false;
+    }
+    uint64_t id = GetId(resp.data());
+    auto it = outstanding.find(id);
+    if (it == outstanding.end()) {
+      out.id_mismatches++;
+      if (counters != nullptr) {
+        counters->rpc_id_mismatch++;
+      }
+      return true;  // keep draining; the bijection check happens at the end
+    }
+    if (Fnv1a(resp.data() + kRpcHeaderLen, *n - kRpcHeaderLen) != it->second) {
+      out.bad_payloads++;
+      if (counters != nullptr) {
+        counters->rpc_bad_payload++;
+      }
+    } else {
+      out.acked++;
+      if (counters != nullptr) {
+        counters->rpc_replies++;
+      }
+    }
+    outstanding.erase(it);  // a second reply with this id is a mismatch
+    return true;
+  };
+
+  for (int i = 0; i < calls; i++) {
+    while (outstanding.size() >= static_cast<size_t>(window)) {
+      if (!recv_one()) {
+        return out;
+      }
+    }
+    Rng gen = Rng::Stream(seed, static_cast<uint64_t>(i));
+    size_t len = min_payload + gen.Below(max_payload - min_payload + 1);
+    uint64_t id = (conn_tag << 20) | static_cast<uint64_t>(i);
+    PutId(req.data(), id);
+    req[8] = kRpcRequest;
+    uint64_t expect = kFnvOffset;
+    for (size_t b = 0; b < len; b++) {
+      uint8_t v = static_cast<uint8_t>(gen.Next());
+      req[kRpcHeaderLen + b] = v;
+      expect = (expect ^ static_cast<uint8_t>(v ^ kRpcTransform)) * kFnvPrime;
+    }
+    if (Result<void> r = m->SendMsg(req.data(), kRpcHeaderLen + len); !r.ok()) {
+      out.error = r.error();
+      return out;
+    }
+    outstanding.emplace(id, expect);
+    out.sent++;
+    if (counters != nullptr) {
+      counters->rpc_calls++;
+    }
+  }
+  while (!outstanding.empty()) {
+    if (!recv_one()) {
+      return out;
+    }
+  }
+  out.completed = out.acked == out.sent && out.id_mismatches == 0 && out.bad_payloads == 0;
+  return out;
+}
+
+}  // namespace psd

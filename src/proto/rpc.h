@@ -1,0 +1,50 @@
+// Request/response RPC with ids and pipelining, over any MsgStream.
+//
+// Wire format (inside one framed message):
+//   [8B id, little-endian][1B type: 0=request 1=response][payload...]
+//
+// The server transforms each request payload deterministically (bytes XOR
+// kRpcTransform) and replies with the same id, so a client can validate
+// every response from its own books without any shared state. Responses
+// may be pipelined: the client keeps up to `window` calls outstanding and
+// checks the id bijection — every reply must name exactly one outstanding
+// call, and every call must be replied to exactly once.
+#ifndef PSD_SRC_PROTO_RPC_H_
+#define PSD_SRC_PROTO_RPC_H_
+
+#include <cstdint>
+
+#include "src/proto/adapter.h"
+
+namespace psd {
+
+constexpr uint8_t kRpcRequest = 0;
+constexpr uint8_t kRpcResponse = 1;
+constexpr uint8_t kRpcTransform = 0x5A;
+constexpr size_t kRpcHeaderLen = 9;
+
+// Serves requests until the peer closes cleanly. Returns the number of
+// calls served, or the first hard error (a malformed request — wrong type
+// byte or runt message — is Err::kProto).
+Result<uint64_t> RpcServeLoop(MsgStream* m, size_t max_payload, ProtoCounters* counters);
+
+struct RpcClientOutcome {
+  uint64_t sent = 0;
+  uint64_t acked = 0;        // responses matching an outstanding id, content-valid
+  uint64_t id_mismatches = 0;  // responses whose id matched nothing outstanding
+  uint64_t bad_payloads = 0;   // id matched but content failed validation
+  bool completed = false;      // every call acked, nothing outstanding
+  Err error = Err::kOk;        // first transport/framing error, if any
+};
+
+// Drives `calls` seeded requests with up to `window` outstanding. Ids are
+// (conn_tag << 20) | seq — unique per connection so mixes can aggregate
+// outcomes without collisions. Payload sizes are uniform in
+// [min_payload, max_payload] from Rng::Stream(seed, seq).
+RpcClientOutcome RpcRunPipelined(MsgStream* m, uint64_t seed, uint64_t conn_tag, int calls,
+                                 int window, size_t min_payload, size_t max_payload,
+                                 ProtoCounters* counters);
+
+}  // namespace psd
+
+#endif  // PSD_SRC_PROTO_RPC_H_

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <functional>
+#include <memory>
 #include <sstream>
 #include <unordered_set>
 
@@ -11,6 +12,7 @@
 #include "src/kern/host.h"
 #include "src/obs/journey.h"
 #include "src/obs/pcap.h"
+#include "src/testbed/traffic_mix.h"
 
 namespace psd {
 namespace {
@@ -158,6 +160,35 @@ const std::vector<TortureSpec>& TortureScenarios() {
     }
     {
       TortureSpec s;
+      s.name = "rpc-bursty-loss";
+      s.summary = "pipelined RPC + full protocol mix under Gilbert-Elliott loss and corruption";
+      s.faults.burst.enabled = true;
+      s.faults.burst.p_good_to_bad = 0.02;
+      s.faults.burst.p_bad_to_good = 0.25;
+      s.faults.burst.loss_good = 0.001;
+      s.faults.burst.loss_bad = 0.6;
+      s.faults.corrupt_rate = 0.02;
+      s.faults.corrupt_bits = 1;
+      s.tcp = false;
+      s.mix = "rpc";
+      v->push_back(s);
+    }
+    {
+      TortureSpec s;
+      s.name = "switch-under-partition";
+      s.summary = "in-band protocol switches racing a scheduled one-way partition";
+      // The outage opens while the pre-switch line traffic and the
+      // handshake are in flight (clients connect a few ms in), one
+      // direction only — the asymmetric case where the OK and the first
+      // pfx frames can cross the partition boundary.
+      s.faults.partitions.push_back(LinkPartition{0, 1, Millis(30), Millis(800)});
+      s.faults.loss_rate = 0.01;
+      s.tcp = false;
+      s.mix = "switchy";
+      v->push_back(s);
+    }
+    {
+      TortureSpec s;
       s.name = "everything";
       s.summary = "all fault classes at once, plus a brief partition";
       s.faults.loss_rate = 0.02;
@@ -214,8 +245,23 @@ TortureResult RunTorture(Config config, const TortureSpec& spec, uint64_t seed,
   uint64_t storm_tx_bytes = 0;
   uint64_t storm_rx_bytes = 0;
   int apps_done = 0;
-  const int apps_total =
-      2 * pairs + (spec.udp ? 2 : 0) + (spec.storm_clients > 0 ? spec.storm_clients + 1 : 0);
+
+  // Application-traffic mix, resolved before the World for the same
+  // force-unwind reason as the rest of the workload state.
+  std::unique_ptr<TrafficMix> mix;
+  if (!spec.mix.empty()) {
+    const MixSpec* mix_spec = FindTrafficMix(spec.mix);
+    if (mix_spec == nullptr) {
+      result.failures.push_back("mix: no traffic mix named '" + spec.mix + "'");
+      result.report = "result: FAIL (unknown mix)\n";
+      return result;
+    }
+    mix = std::make_unique<TrafficMix>(*mix_spec, seed);
+  }
+
+  const int apps_total = 2 * pairs + (spec.udp ? 2 : 0) +
+                         (spec.storm_clients > 0 ? spec.storm_clients + 1 : 0) +
+                         (mix != nullptr ? mix->apps_total() : 0);
 
   FaultPlan faults = spec.faults;
   faults.seed = seed;
@@ -452,6 +498,13 @@ TortureResult RunTorture(Config config, const TortureSpec& spec, uint64_t seed,
     }
   }
 
+  // --- Application-traffic mix: composed protocol-adapter stacks (RPC
+  // over pfx, CRLF echo, in-band switch, DNS-like UDP) sharing the wire
+  // with the raw workloads above.
+  if (mix != nullptr) {
+    mix->Launch(&w, &apps_done);
+  }
+
   // --- Virtual-time progress watchdog: a self-rescheduling event samples a
   // progress signature; quiet_limit unchanged samples before the workload
   // completes means the run is stalled. Stops ticking once the workload is
@@ -464,6 +517,9 @@ TortureResult RunTorture(Config config, const TortureSpec& spec, uint64_t seed,
       app_bytes += rx_bytes[k];
     }
     app_bytes += storm_rx_bytes + static_cast<uint64_t>(storm_accepted);
+    if (mix != nullptr) {
+      app_bytes += mix->ProgressSignature();
+    }
     return std::array<uint64_t, 6>{pj.minted(), pj.delivered(), pj.consumed(), pj.dropped(),
                                    app_bytes,
                                    udp_rx + static_cast<uint64_t>(apps_done)};
@@ -539,6 +595,12 @@ TortureResult RunTorture(Config config, const TortureSpec& spec, uint64_t seed,
       fail("storm: clients sent " + std::to_string(storm_tx_bytes) + " bytes, server received " +
            std::to_string(storm_rx_bytes));
     }
+  }
+
+  // (6-9) per-protocol mix invariants: rpc id bijection, framing
+  // resync-or-fail, switch exactly-once, dns accounting.
+  if (mix != nullptr) {
+    mix->CheckInvariants(complete, &result.failures);
   }
 
   // (2) journey conservation.
@@ -660,6 +722,9 @@ TortureResult RunTorture(Config config, const TortureSpec& spec, uint64_t seed,
     rep << "storm: clients=" << spec.storm_clients << " connected=" << storm_connected
         << " accepted=" << storm_accepted << " bytes=" << storm_rx_bytes << "/" << storm_tx_bytes
         << " overflow-drops=" << dl.total(DropReason::kTcpListenOverflow) << "\n";
+  }
+  if (mix != nullptr) {
+    mix->Report(rep);
   }
   rep << "invariants:";
   if (result.passed) {

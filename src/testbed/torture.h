@@ -20,6 +20,12 @@
 //                     workload completes, the run is declared stalled and
 //                     the report carries a pktwalk dump of the lost packets.
 //
+// A scenario may additionally attach an application-traffic mix
+// (traffic_mix.h) — composed protocol-adapter stacks whose own invariants
+// (6: rpc id bijection, 7: framing resync-or-fail, 8: switch exactly-once,
+// 9: dns accounting) are checked alongside the five above, so coverage is
+// fault plans x protocol mixes x placements.
+//
 // Runs are replayable: the same (scenario, config, seed) produces a
 // byte-identical report (tools/torture is the CLI; CI diffs two runs).
 #ifndef PSD_SRC_TESTBED_TORTURE_H_
@@ -60,6 +66,12 @@ struct TortureSpec {
   int storm_clients = 0;
   int storm_backlog = 1;
   SimDuration storm_accept_delay = Millis(100);
+  // Application-traffic mix (empty = none): the name of a TrafficMixes()
+  // entry. The mix's protocol stacks (src/proto) run concurrently with the
+  // raw workloads above, and its per-protocol invariants (rpc id bijection,
+  // framing resync-or-fail, switch exactly-once, dns accounting) are
+  // checked alongside invariants 1-5.
+  std::string mix;
   SimDuration deadline = Seconds(600);
   SimDuration quiet_window = Seconds(20);
   int quiet_limit = 3;

@@ -9,6 +9,8 @@
 
 #include "src/base/rng.h"
 #include "src/obs/journey.h"
+#include "src/proto/framing.h"
+#include "src/proto/rpc.h"
 #include "src/testbed/world.h"
 
 namespace psd {
@@ -193,6 +195,127 @@ TEST(PlacementEquivalence, CleanUdpSequenceIsIdenticalEverywhere) {
   // Differential: all five placements saw the exact same arrival sequence.
   for (size_t i = 1; i < sequences.size(); i++) {
     EXPECT_EQ(sequences[i], sequences[0]) << ConfigName(kAllConfigs[i]);
+  }
+}
+
+struct RpcTranscript {
+  bool completed = false;
+  uint64_t client_digest = 0;  // every response message, arrival order
+  uint64_t server_digest = 0;  // every request message, arrival order
+  uint64_t served = 0;
+};
+
+// Framed RPC (length-prefix framing + pipelined request/response) over a
+// lossy wire. Both ends digest every whole message they receive; TCP's
+// ordering guarantee makes those transcripts placement-independent even
+// though retransmission patterns differ.
+RpcTranscript RunFramedRpc(Config config, uint64_t seed) {
+  RpcTranscript out;
+  constexpr int kCalls = 24;
+  constexpr int kWindow = 6;
+  constexpr size_t kMaxPayload = 300;
+  World w(config, MachineProfile::DecStation5000());
+  FaultPlan plan;
+  plan.loss_rate = 0.02;
+  plan.delay_rate = 0.05;
+  plan.extra_delay = Millis(2);
+  plan.seed = seed;
+  w.wire().SetFaults(plan);
+
+  w.SpawnApp(1, "rpcsrv", [&] {
+    SocketApi* api = w.api(1);
+    int lfd = *api->CreateSocket(IpProto::kTcp);
+    ASSERT_TRUE(api->Bind(lfd, SockAddrIn{Ipv4Addr::Any(), 5004}).ok());
+    ASSERT_TRUE(api->Listen(lfd, 1).ok());
+    Result<int> cfd = api->Accept(lfd, nullptr);
+    ASSERT_TRUE(cfd.ok());
+    SockByteStream bs(api, *cfd);
+    PfxStream pfx(&bs, 4096);
+    std::vector<uint8_t> msg(kRpcHeaderLen + kMaxPayload);
+    uint64_t h = FnvInit();
+    for (;;) {
+      Result<size_t> n = pfx.RecvMsg(msg.data(), msg.size());
+      if (!n.ok()) {
+        ASSERT_EQ(n.error(), Err::kEof) << ErrName(n.error());
+        break;
+      }
+      ASSERT_GE(*n, kRpcHeaderLen);
+      ASSERT_EQ(msg[8], kRpcRequest);
+      FnvAdd(&h, msg.data(), *n);
+      for (size_t i = kRpcHeaderLen; i < *n; i++) {
+        msg[i] ^= kRpcTransform;
+      }
+      msg[8] = kRpcResponse;
+      ASSERT_TRUE(pfx.SendMsg(msg.data(), *n).ok());
+      out.served++;
+    }
+    out.server_digest = h;
+    api->Close(*cfd);
+    api->Close(lfd);
+  });
+  w.SpawnApp(0, "rpccli", [&] {
+    SocketApi* api = w.api(0);
+    int fd = *api->CreateSocket(IpProto::kTcp);
+    w.sim().current_thread()->SleepFor(Millis(10));
+    ASSERT_TRUE(api->Connect(fd, SockAddrIn{w.addr(1), 5004}).ok());
+    SockByteStream bs(api, fd);
+    PfxStream pfx(&bs, 4096);
+    std::vector<uint8_t> req(kRpcHeaderLen + kMaxPayload);
+    std::vector<uint8_t> resp(kRpcHeaderLen + kMaxPayload);
+    uint64_t h = FnvInit();
+    int outstanding = 0;
+    uint64_t got = 0;
+    auto recv_one = [&] {
+      Result<size_t> n = pfx.RecvMsg(resp.data(), resp.size());
+      ASSERT_TRUE(n.ok()) << ErrName(n.error());
+      FnvAdd(&h, resp.data(), *n);
+      outstanding--;
+      got++;
+    };
+    for (int i = 0; i < kCalls; i++) {
+      while (outstanding >= kWindow) {
+        recv_one();
+      }
+      Rng gen = Rng::Stream(seed, 500 + static_cast<uint64_t>(i));
+      size_t len = gen.Below(kMaxPayload + 1);
+      for (int b = 0; b < 8; b++) {
+        req[b] = static_cast<uint8_t>(static_cast<uint64_t>(i) >> (8 * b));
+      }
+      req[8] = kRpcRequest;
+      for (size_t b = 0; b < len; b++) {
+        req[kRpcHeaderLen + b] = static_cast<uint8_t>(gen.Next());
+      }
+      ASSERT_TRUE(pfx.SendMsg(req.data(), kRpcHeaderLen + len).ok());
+      outstanding++;
+    }
+    while (outstanding > 0) {
+      recv_one();
+    }
+    out.client_digest = h;
+    out.completed = got == kCalls;
+    api->Close(fd);
+  });
+  w.sim().Run(Seconds(300));
+  return out;
+}
+
+// The full framed-RPC transcript — every request the server parsed and every
+// response the client parsed, in order — is identical across all five
+// placements under the same lossy fault plan.
+TEST(PlacementEquivalence, FramedRpcTranscriptIsIdenticalEverywhere) {
+  constexpr uint64_t kSeed = 20260808;
+  std::vector<RpcTranscript> transcripts;
+  for (Config c : kAllConfigs) {
+    RpcTranscript t = RunFramedRpc(c, kSeed);
+    EXPECT_TRUE(t.completed) << ConfigName(c);
+    EXPECT_EQ(t.served, 24u) << ConfigName(c);
+    transcripts.push_back(t);
+  }
+  for (size_t i = 1; i < transcripts.size(); i++) {
+    EXPECT_EQ(transcripts[i].client_digest, transcripts[0].client_digest)
+        << ConfigName(kAllConfigs[i]);
+    EXPECT_EQ(transcripts[i].server_digest, transcripts[0].server_digest)
+        << ConfigName(kAllConfigs[i]);
   }
 }
 

@@ -1,0 +1,360 @@
+// Seeded property/fuzz tests for the framing parsers (pfx + crlf), run over
+// an in-memory ByteStream that delivers data in adversarially small chunks.
+// The property under test is the adapter error contract (src/proto/adapter.h):
+// parsers either produce exactly the sent messages or fail with the right Err
+// — and never read out of bounds, no matter how the bytes are segmented or
+// what garbage arrives. CI runs this binary under ASan, which is what turns
+// "never OOB" from a comment into a checked property.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/proto/framing.h"
+
+namespace psd {
+namespace {
+
+// A ByteStream over a fixed byte string that honors the short-read contract
+// maximally: every Read returns a seeded-random chunk size (or exactly 1 byte
+// in one_byte mode), then 0 forever at EOF. Writes append to `written`.
+class ChunkedMemStream : public ByteStream {
+ public:
+  ChunkedMemStream(std::vector<uint8_t> data, uint64_t seed, bool one_byte = false)
+      : data_(std::move(data)), rng_(Rng::Stream(seed, 77)), one_byte_(one_byte) {}
+
+  Result<size_t> Read(uint8_t* out, size_t len) override {
+    if (pos_ >= data_.size()) {
+      return static_cast<size_t>(0);  // EOF
+    }
+    size_t left = data_.size() - pos_;
+    size_t chunk = one_byte_ ? 1 : 1 + rng_.Below(64);
+    size_t n = std::min(len, std::min(chunk, left));
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return n;
+  }
+  Result<size_t> Write(const uint8_t* data, size_t len) override {
+    // Short writes too: WriteFull must loop.
+    size_t n = one_byte_ ? 1 : std::min(len, static_cast<size_t>(1 + rng_.Below(64)));
+    written.insert(written.end(), data, data + n);
+    return n;
+  }
+
+  std::vector<uint8_t> written;
+
+ private:
+  std::vector<uint8_t> data_;
+  size_t pos_ = 0;
+  Rng rng_;
+  bool one_byte_;
+};
+
+std::vector<uint8_t> PfxEncode(const std::vector<std::vector<uint8_t>>& msgs) {
+  std::vector<uint8_t> wire;
+  for (const auto& m : msgs) {
+    uint32_t len = static_cast<uint32_t>(m.size());
+    wire.push_back(static_cast<uint8_t>(len >> 24));
+    wire.push_back(static_cast<uint8_t>(len >> 16));
+    wire.push_back(static_cast<uint8_t>(len >> 8));
+    wire.push_back(static_cast<uint8_t>(len));
+    wire.insert(wire.end(), m.begin(), m.end());
+  }
+  return wire;
+}
+
+// --- pfx properties ---
+
+TEST(FramingFuzz, PfxRoundtripRandomChunks) {
+  for (uint64_t seed = 1; seed <= 20; seed++) {
+    Rng gen = Rng::Stream(seed, 1);
+    std::vector<std::vector<uint8_t>> msgs;
+    for (int i = 0; i < 40; i++) {
+      std::vector<uint8_t> m(gen.Below(600));  // 0-length messages included
+      for (uint8_t& b : m) {
+        b = static_cast<uint8_t>(gen.Next());
+      }
+      msgs.push_back(std::move(m));
+    }
+    for (bool one_byte : {false, true}) {
+      ChunkedMemStream mem(PfxEncode(msgs), seed, one_byte);
+      ProtoCounters c;
+      PfxStream pfx(&mem, 1024, &c);
+      std::vector<uint8_t> out(1024);
+      for (const auto& want : msgs) {
+        Result<size_t> n = pfx.RecvMsg(out.data(), out.size());
+        ASSERT_TRUE(n.ok()) << ErrName(n.error());
+        ASSERT_EQ(*n, want.size());
+        ASSERT_TRUE(std::equal(want.begin(), want.end(), out.begin()));
+      }
+      EXPECT_EQ(pfx.RecvMsg(out.data(), out.size()).error(), Err::kEof);
+      EXPECT_EQ(c.msgs_in, msgs.size());
+      EXPECT_EQ(c.frame_errors, 0u);
+    }
+  }
+}
+
+TEST(FramingFuzz, PfxOversizeHeaderPoisons) {
+  // A length prefix beyond the bound — including the all-ones header that
+  // would overflow naive `header + len` arithmetic — must fail before any
+  // payload is consumed, and poison the adapter.
+  for (uint32_t hdr : {static_cast<uint32_t>(1025), static_cast<uint32_t>(1) << 31,
+                       static_cast<uint32_t>(0xFFFFFFFF)}) {
+    std::vector<uint8_t> wire = {static_cast<uint8_t>(hdr >> 24), static_cast<uint8_t>(hdr >> 16),
+                                 static_cast<uint8_t>(hdr >> 8), static_cast<uint8_t>(hdr)};
+    wire.resize(wire.size() + 64, 0xAB);  // junk "payload" that must never be read
+    ChunkedMemStream mem(std::move(wire), 3);
+    ProtoCounters c;
+    PfxStream pfx(&mem, 1024, &c);
+    uint8_t out[2048];
+    EXPECT_EQ(pfx.RecvMsg(out, sizeof(out)).error(), Err::kProto);
+    EXPECT_TRUE(pfx.poisoned());
+    EXPECT_EQ(c.oversize, 1u);
+    EXPECT_EQ(c.frame_errors, 1u);
+    // Poisoned means poisoned: every later call fails without reading.
+    EXPECT_EQ(pfx.RecvMsg(out, sizeof(out)).error(), Err::kProto);
+    EXPECT_EQ(pfx.SendMsg(out, 1).error(), Err::kProto);
+  }
+}
+
+TEST(FramingFuzz, PfxExactBoundIsLegal) {
+  std::vector<std::vector<uint8_t>> msgs = {std::vector<uint8_t>(1024, 0x5C)};
+  ChunkedMemStream mem(PfxEncode(msgs), 4);
+  PfxStream pfx(&mem, 1024);
+  std::vector<uint8_t> out(1024);
+  Result<size_t> n = pfx.RecvMsg(out.data(), out.size());
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1024u);
+}
+
+TEST(FramingFuzz, PfxTruncationIsProto) {
+  // EOF mid-header and EOF mid-payload are both framing violations, at every
+  // possible cut point.
+  std::vector<std::vector<uint8_t>> msgs = {std::vector<uint8_t>(32, 0x11)};
+  std::vector<uint8_t> full = PfxEncode(msgs);
+  for (size_t cut = 1; cut < full.size(); cut++) {
+    std::vector<uint8_t> wire(full.begin(), full.begin() + static_cast<ptrdiff_t>(cut));
+    ChunkedMemStream mem(std::move(wire), cut, /*one_byte=*/true);
+    ProtoCounters c;
+    PfxStream pfx(&mem, 1024, &c);
+    uint8_t out[64];
+    EXPECT_EQ(pfx.RecvMsg(out, sizeof(out)).error(), Err::kProto) << "cut=" << cut;
+    EXPECT_EQ(c.truncated, 1u);
+  }
+}
+
+TEST(FramingFuzz, PfxMsgSizeDoesNotConsume) {
+  std::vector<std::vector<uint8_t>> msgs = {std::vector<uint8_t>(100, 0x7E)};
+  ChunkedMemStream mem(PfxEncode(msgs), 5);
+  ProtoCounters c;
+  PfxStream pfx(&mem, 1024, &c);
+  uint8_t small[10];
+  EXPECT_EQ(pfx.RecvMsg(small, sizeof(small)).error(), Err::kMsgSize);
+  EXPECT_FALSE(pfx.poisoned());
+  EXPECT_EQ(c.frame_errors, 0u);
+  // The message is still there, intact, for a properly sized retry.
+  uint8_t big[128];
+  Result<size_t> n = pfx.RecvMsg(big, sizeof(big));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 100u);
+  EXPECT_EQ(big[0], 0x7E);
+}
+
+// --- crlf properties ---
+
+TEST(FramingFuzz, CrlfRoundtripSplitTerminators) {
+  // 1-byte chunk mode guarantees every CRLF arrives split across reads.
+  for (uint64_t seed = 1; seed <= 20; seed++) {
+    Rng gen = Rng::Stream(seed, 2);
+    std::vector<std::vector<uint8_t>> lines;
+    std::vector<uint8_t> wire;
+    for (int i = 0; i < 30; i++) {
+      std::vector<uint8_t> l(gen.Below(120));  // empty lines included
+      for (uint8_t& b : l) {
+        b = static_cast<uint8_t>(' ' + gen.Below(95));  // printable: never CR/LF
+      }
+      wire.insert(wire.end(), l.begin(), l.end());
+      wire.push_back('\r');
+      wire.push_back('\n');
+      lines.push_back(std::move(l));
+    }
+    for (bool one_byte : {false, true}) {
+      ChunkedMemStream mem(wire, seed, one_byte);
+      ProtoCounters c;
+      CrlfStream crlf(&mem, 256, &c);
+      std::vector<uint8_t> out(256);
+      for (const auto& want : lines) {
+        Result<size_t> n = crlf.RecvMsg(out.data(), out.size());
+        ASSERT_TRUE(n.ok()) << ErrName(n.error());
+        ASSERT_EQ(*n, want.size());
+        ASSERT_TRUE(std::equal(want.begin(), want.end(), out.begin()));
+      }
+      EXPECT_EQ(crlf.RecvMsg(out.data(), out.size()).error(), Err::kEof);
+      EXPECT_EQ(c.msgs_in, lines.size());
+      EXPECT_EQ(c.resyncs, 0u);
+    }
+  }
+}
+
+TEST(FramingFuzz, CrlfBareCrAndLfAreData) {
+  std::vector<uint8_t> wire = {'a', '\r', 'b', '\n', 'c', '\r', '\n'};
+  ChunkedMemStream mem(wire, 6, /*one_byte=*/true);
+  CrlfStream crlf(&mem, 64);
+  uint8_t out[64];
+  Result<size_t> n = crlf.RecvMsg(out, sizeof(out));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 5u);
+  EXPECT_EQ(0, std::memcmp(out, "a\rb\nc", 5));
+}
+
+TEST(FramingFuzz, CrlfGarbageBeforeSyncResyncsExactlyOnce) {
+  // One garbage burst longer than the line bound, then clean lines. In
+  // resync mode the parser must charge exactly one resync per burst — no
+  // matter how the burst is segmented — and then parse every real line.
+  for (uint64_t seed = 1; seed <= 10; seed++) {
+    Rng gen = Rng::Stream(seed, 3);
+    std::vector<uint8_t> wire(80 + gen.Below(200), 'x');  // max_line=64, so overlong
+    wire.push_back('\r');
+    wire.push_back('\n');
+    const char* good = "hello";
+    wire.insert(wire.end(), good, good + 5);
+    wire.push_back('\r');
+    wire.push_back('\n');
+    for (bool one_byte : {false, true}) {
+      ChunkedMemStream mem(wire, seed, one_byte);
+      ProtoCounters c;
+      CrlfStream crlf(&mem, 64, &c, /*resync=*/true);
+      uint8_t out[64];
+      Result<size_t> n = crlf.RecvMsg(out, sizeof(out));
+      ASSERT_TRUE(n.ok()) << ErrName(n.error());
+      EXPECT_EQ(*n, 5u);
+      EXPECT_EQ(0, std::memcmp(out, "hello", 5));
+      EXPECT_EQ(c.resyncs, 1u);
+      EXPECT_EQ(c.frame_errors, 0u);
+    }
+  }
+}
+
+TEST(FramingFuzz, CrlfOverlongWithoutResyncPoisons) {
+  std::vector<uint8_t> wire(200, 'y');
+  wire.push_back('\r');
+  wire.push_back('\n');
+  ChunkedMemStream mem(std::move(wire), 7);
+  ProtoCounters c;
+  CrlfStream crlf(&mem, 64, &c, /*resync=*/false);
+  uint8_t out[256];
+  EXPECT_EQ(crlf.RecvMsg(out, sizeof(out)).error(), Err::kProto);
+  EXPECT_TRUE(crlf.poisoned());
+  EXPECT_EQ(c.frame_errors, 1u);
+}
+
+TEST(FramingFuzz, CrlfUnterminatedGarbageAtEofIsProto) {
+  // Resync mode can skip garbage, but garbage that never terminates before
+  // EOF is still a hard failure — resync-or-fail, never hang or accept.
+  std::vector<uint8_t> wire(300, 'z');
+  ChunkedMemStream mem(std::move(wire), 8, /*one_byte=*/true);
+  ProtoCounters c;
+  CrlfStream crlf(&mem, 64, &c, /*resync=*/true);
+  uint8_t out[64];
+  EXPECT_EQ(crlf.RecvMsg(out, sizeof(out)).error(), Err::kProto);
+  EXPECT_EQ(c.truncated, 1u);
+}
+
+// --- byte soup: neither parser may crash, hang, or read OOB on arbitrary
+// input; every call ends in a message, a clean EOF, or a contract error ---
+
+TEST(FramingFuzz, ByteSoupNeverOutOfBounds) {
+  for (uint64_t seed = 1; seed <= 60; seed++) {
+    Rng gen = Rng::Stream(seed, 4);
+    std::vector<uint8_t> soup(gen.Below(4096));
+    for (uint8_t& b : soup) {
+      // Bias toward small values so plausible-looking pfx headers and CR/LF
+      // bytes actually occur.
+      b = static_cast<uint8_t>(gen.Below(gen.Below(2) != 0 ? 32 : 256));
+    }
+    for (int mode = 0; mode < 4; mode++) {
+      ChunkedMemStream mem(soup, seed, /*one_byte=*/(mode & 1) != 0);
+      ProtoCounters c;
+      std::unique_ptr<MsgStream> m;
+      if (mode < 2) {
+        m = std::make_unique<PfxStream>(&mem, 512, &c);
+      } else {
+        m = std::make_unique<CrlfStream>(&mem, 512, &c, /*resync=*/(seed % 2) == 0);
+      }
+      std::vector<uint8_t> out(512);
+      for (int calls = 0; calls < 10000; calls++) {
+        Result<size_t> n = m->RecvMsg(out.data(), out.size());
+        if (!n.ok()) {
+          EXPECT_TRUE(n.error() == Err::kEof || n.error() == Err::kProto ||
+                      n.error() == Err::kMsgSize)
+              << ErrName(n.error());
+          break;
+        }
+      }
+    }
+  }
+}
+
+// --- residual handoff (the switch building block) ---
+
+TEST(FramingFuzz, ResidualTakeDetachesAndSeedParses) {
+  // A crlf parser that buffered pfx frames behind the last line hands them
+  // to a successor byte-perfectly, and the detached predecessor is dead.
+  std::vector<uint8_t> wire = {'o', 'k', '\r', '\n'};
+  std::vector<std::vector<uint8_t>> msgs = {{1, 2, 3}, {}, {9, 8, 7, 6}};
+  std::vector<uint8_t> pfx_bytes = PfxEncode(msgs);
+  wire.insert(wire.end(), pfx_bytes.begin(), pfx_bytes.end());
+
+  ChunkedMemStream mem(std::move(wire), 9);
+  CrlfStream crlf(&mem, 64);
+  uint8_t out[64];
+  Result<size_t> n = crlf.RecvMsg(out, sizeof(out));
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2u);
+
+  // Force the line parser to over-read: ask for another line. There is none
+  // (the rest is binary), so drain what it buffered via a failed parse? No —
+  // the residual is whatever FillTo already pulled past the line. Take it
+  // directly; the successor re-reads the rest from the base stream.
+  std::vector<uint8_t> residual;
+  crlf.TakeResidual(&residual);
+  EXPECT_TRUE(crlf.detached());
+  EXPECT_EQ(crlf.RecvMsg(out, sizeof(out)).error(), Err::kProto);
+  EXPECT_EQ(crlf.SendMsg(out, 1).error(), Err::kProto);
+
+  PfxStream pfx(&mem, 64);
+  pfx.SeedResidual(residual);
+  for (const auto& want : msgs) {
+    Result<size_t> r = pfx.RecvMsg(out, sizeof(out));
+    ASSERT_TRUE(r.ok()) << ErrName(r.error());
+    ASSERT_EQ(*r, want.size());
+    ASSERT_TRUE(std::equal(want.begin(), want.end(), out));
+  }
+  EXPECT_EQ(pfx.RecvMsg(out, sizeof(out)).error(), Err::kEof);
+}
+
+// --- send paths honor short writes ---
+
+TEST(FramingFuzz, SendPathsLoopOverShortWrites) {
+  ChunkedMemStream mem({}, 10, /*one_byte=*/true);  // 1-byte writes
+  PfxStream pfx(&mem, 1024);
+  std::vector<uint8_t> msg(300, 0x42);
+  ASSERT_TRUE(pfx.SendMsg(msg.data(), msg.size()).ok());
+  ASSERT_EQ(mem.written.size(), 304u);
+  EXPECT_EQ(mem.written[0], 0u);
+  EXPECT_EQ(mem.written[2], 1u);  // 300 = 0x012C
+  EXPECT_EQ(mem.written[3], 0x2C);
+
+  ChunkedMemStream mem2({}, 11, /*one_byte=*/true);
+  CrlfStream crlf(&mem2, 1024);
+  ASSERT_TRUE(crlf.SendMsg(reinterpret_cast<const uint8_t*>("hi"), 2).ok());
+  ASSERT_EQ(mem2.written.size(), 4u);
+  EXPECT_EQ(0, std::memcmp(mem2.written.data(), "hi\r\n", 4));
+  // CR/LF in a line payload is unframeable, not silently mangled.
+  EXPECT_EQ(crlf.SendMsg(reinterpret_cast<const uint8_t*>("a\nb"), 3).error(), Err::kInval);
+}
+
+}  // namespace
+}  // namespace psd

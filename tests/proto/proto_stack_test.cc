@@ -1,0 +1,304 @@
+// End-to-end tests for the application-protocol adapters (rpc.h, pswitch.h,
+// dns.h) stacked on real sockets inside the simulator: the id bijection under
+// pipelining, the malformed-request contract, the in-band switch's residual
+// handoff and exactly-once property, the refused-switch fallback, and the
+// DNS query/retry loop. The in-kernel placement keeps these fast; every
+// placement gets the same stacks through the torture traffic mixes.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "src/proto/dns.h"
+#include "src/proto/framing.h"
+#include "src/proto/pswitch.h"
+#include "src/proto/rpc.h"
+#include "src/testbed/world.h"
+
+namespace psd {
+namespace {
+
+TEST(ProtoStack, RpcPipelinedBijectionOverSockets) {
+  World w(Config::kInKernel, MachineProfile::DecStation5000());
+  constexpr int kCalls = 20;
+  uint64_t served = 0;
+  RpcClientOutcome out;
+  ProtoCounters server_c, client_c;
+
+  w.SpawnApp(1, "rpcsrv", [&] {
+    SocketApi* api = w.api(1);
+    int lfd = *api->CreateSocket(IpProto::kTcp);
+    ASSERT_TRUE(api->Bind(lfd, SockAddrIn{Ipv4Addr::Any(), 6100}).ok());
+    ASSERT_TRUE(api->Listen(lfd, 1).ok());
+    Result<int> cfd = api->Accept(lfd, nullptr);
+    ASSERT_TRUE(cfd.ok());
+    SockByteStream bs(api, *cfd);
+    PfxStream pfx(&bs, 4096, &server_c);
+    Result<uint64_t> r = RpcServeLoop(&pfx, 512, &server_c);
+    ASSERT_TRUE(r.ok()) << ErrName(r.error());
+    served = *r;
+    api->Close(*cfd);
+    api->Close(lfd);
+  });
+  w.SpawnApp(0, "rpccli", [&] {
+    SocketApi* api = w.api(0);
+    int fd = *api->CreateSocket(IpProto::kTcp);
+    w.sim().current_thread()->SleepFor(Millis(5));
+    ASSERT_TRUE(api->Connect(fd, SockAddrIn{w.addr(1), 6100}).ok());
+    SockByteStream bs(api, fd);
+    PfxStream pfx(&bs, 4096, &client_c);
+    out = RpcRunPipelined(&pfx, 42, /*conn_tag=*/1, kCalls, /*window=*/5, 0, 300, &client_c);
+    api->Close(fd);
+  });
+  w.sim().Run(Seconds(60));
+
+  EXPECT_TRUE(out.completed) << ErrName(out.error);
+  EXPECT_EQ(out.sent, static_cast<uint64_t>(kCalls));
+  EXPECT_EQ(out.acked, static_cast<uint64_t>(kCalls));
+  EXPECT_EQ(out.id_mismatches, 0u);
+  EXPECT_EQ(out.bad_payloads, 0u);
+  EXPECT_EQ(served, static_cast<uint64_t>(kCalls));
+  EXPECT_EQ(client_c.rpc_calls, static_cast<uint64_t>(kCalls));
+  EXPECT_EQ(server_c.rpc_replies, static_cast<uint64_t>(kCalls));
+  EXPECT_EQ(client_c.frame_errors + server_c.frame_errors, 0u);
+}
+
+TEST(ProtoStack, RpcMalformedRequestIsProto) {
+  World w(Config::kInKernel, MachineProfile::DecStation5000());
+  Err server_err = Err::kOk;
+
+  w.SpawnApp(1, "rpcsrv", [&] {
+    SocketApi* api = w.api(1);
+    int lfd = *api->CreateSocket(IpProto::kTcp);
+    ASSERT_TRUE(api->Bind(lfd, SockAddrIn{Ipv4Addr::Any(), 6101}).ok());
+    ASSERT_TRUE(api->Listen(lfd, 1).ok());
+    Result<int> cfd = api->Accept(lfd, nullptr);
+    ASSERT_TRUE(cfd.ok());
+    SockByteStream bs(api, *cfd);
+    PfxStream pfx(&bs, 4096);
+    Result<uint64_t> r = RpcServeLoop(&pfx, 512, nullptr);
+    ASSERT_FALSE(r.ok());
+    server_err = r.error();
+    api->Close(*cfd);
+    api->Close(lfd);
+  });
+  w.SpawnApp(0, "badcli", [&] {
+    SocketApi* api = w.api(0);
+    int fd = *api->CreateSocket(IpProto::kTcp);
+    w.sim().current_thread()->SleepFor(Millis(5));
+    ASSERT_TRUE(api->Connect(fd, SockAddrIn{w.addr(1), 6101}).ok());
+    SockByteStream bs(api, fd);
+    PfxStream pfx(&bs, 4096);
+    // Well-framed but not an RPC request: wrong type byte.
+    uint8_t msg[kRpcHeaderLen] = {1, 0, 0, 0, 0, 0, 0, 0, 7};
+    ASSERT_TRUE(pfx.SendMsg(msg, sizeof(msg)).ok());
+    api->Close(fd);
+  });
+  w.sim().Run(Seconds(60));
+
+  EXPECT_EQ(server_err, Err::kProto);
+}
+
+TEST(ProtoStack, SwitchHandsOverExactlyOnce) {
+  World w(Config::kInKernel, MachineProfile::DecStation5000());
+  ProtoCounters client_c, server_c;
+  bool client_done = false;
+
+  w.SpawnApp(1, "swsrv", [&] {
+    SocketApi* api = w.api(1);
+    int lfd = *api->CreateSocket(IpProto::kTcp);
+    ASSERT_TRUE(api->Bind(lfd, SockAddrIn{Ipv4Addr::Any(), 6102}).ok());
+    ASSERT_TRUE(api->Listen(lfd, 1).ok());
+    Result<int> cfd = api->Accept(lfd, nullptr);
+    ASSERT_TRUE(cfd.ok());
+    SockByteStream bs(api, *cfd);
+    CrlfStream crlf(&bs, 128, &server_c);
+    uint8_t line[128];
+    Result<size_t> n = crlf.RecvMsg(line, sizeof(line));
+    ASSERT_TRUE(n.ok());
+    ASSERT_EQ(*n, std::strlen(kSwitchRequest));
+    ASSERT_EQ(0, std::memcmp(line, kSwitchRequest, *n));
+    Result<std::unique_ptr<PfxStream>> pfx = AcceptSwitch(&crlf, &bs, 4096, &server_c);
+    ASSERT_TRUE(pfx.ok());
+    // The predecessor is dead the moment the successor exists.
+    EXPECT_TRUE(crlf.detached());
+    EXPECT_EQ(crlf.RecvMsg(line, sizeof(line)).error(), Err::kProto);
+    Result<uint64_t> served = RpcServeLoop(pfx->get(), 512, &server_c);
+    ASSERT_TRUE(served.ok()) << ErrName(served.error());
+    EXPECT_EQ(*served, 6u);
+    api->Close(*cfd);
+    api->Close(lfd);
+  });
+  w.SpawnApp(0, "swcli", [&] {
+    SocketApi* api = w.api(0);
+    int fd = *api->CreateSocket(IpProto::kTcp);
+    w.sim().current_thread()->SleepFor(Millis(5));
+    ASSERT_TRUE(api->Connect(fd, SockAddrIn{w.addr(1), 6102}).ok());
+    SockByteStream bs(api, fd);
+    CrlfStream crlf(&bs, 128, &client_c);
+    Result<std::unique_ptr<PfxStream>> pfx = RequestSwitch(&crlf, &bs, 4096, &client_c);
+    ASSERT_TRUE(pfx.ok()) << ErrName(pfx.error());
+    RpcClientOutcome out =
+        RpcRunPipelined(pfx->get(), 7, /*conn_tag=*/2, 6, /*window=*/3, 0, 200, &client_c);
+    EXPECT_TRUE(out.completed) << ErrName(out.error);
+    // A second switch attempt on the same connection must fail loudly, not
+    // renegotiate: the crlf adapter is detached.
+    Result<std::unique_ptr<PfxStream>> again = RequestSwitch(&crlf, &bs, 4096, &client_c);
+    EXPECT_FALSE(again.ok());
+    EXPECT_EQ(again.error(), Err::kProto);
+    api->Close(fd);
+    client_done = true;
+  });
+  w.sim().Run(Seconds(60));
+
+  EXPECT_TRUE(client_done);
+  EXPECT_EQ(client_c.switch_completed, 1u);
+  EXPECT_EQ(server_c.switch_completed, 1u);
+  EXPECT_EQ(client_c.switch_refused, 0u);
+}
+
+TEST(ProtoStack, SwitchResidualCarriesPipelinedBytes) {
+  // The server acknowledges and immediately pipelines a pfx frame behind the
+  // "OK" in a single send, so the client's line parser over-reads into the
+  // successor's bytes. The handoff must deliver them byte-perfectly.
+  World w(Config::kInKernel, MachineProfile::DecStation5000());
+  bool client_done = false;
+
+  w.SpawnApp(1, "swsrv", [&] {
+    SocketApi* api = w.api(1);
+    int lfd = *api->CreateSocket(IpProto::kTcp);
+    ASSERT_TRUE(api->Bind(lfd, SockAddrIn{Ipv4Addr::Any(), 6103}).ok());
+    ASSERT_TRUE(api->Listen(lfd, 1).ok());
+    Result<int> cfd = api->Accept(lfd, nullptr);
+    ASSERT_TRUE(cfd.ok());
+    SockByteStream bs(api, *cfd);
+    CrlfStream crlf(&bs, 128);
+    uint8_t line[128];
+    ASSERT_TRUE(crlf.RecvMsg(line, sizeof(line)).ok());
+    // "OK\r\n" + pfx("after") in one write: the client cannot avoid
+    // buffering past the handshake line.
+    const uint8_t wire[] = {'O', 'K', '\r', '\n', 0, 0, 0, 5, 'a', 'f', 't', 'e', 'r'};
+    ASSERT_TRUE(WriteFull(&bs, wire, sizeof(wire)).ok());
+    api->Close(*cfd);
+    api->Close(lfd);
+  });
+  w.SpawnApp(0, "swcli", [&] {
+    SocketApi* api = w.api(0);
+    int fd = *api->CreateSocket(IpProto::kTcp);
+    w.sim().current_thread()->SleepFor(Millis(5));
+    ASSERT_TRUE(api->Connect(fd, SockAddrIn{w.addr(1), 6103}).ok());
+    SockByteStream bs(api, fd);
+    CrlfStream crlf(&bs, 128);
+    // Give the server's combined write time to land in the socket buffer as
+    // one contiguous blob before the line parser reads.
+    w.sim().current_thread()->SleepFor(Millis(50));
+    Result<std::unique_ptr<PfxStream>> pfx = RequestSwitch(&crlf, &bs, 4096, nullptr);
+    ASSERT_TRUE(pfx.ok()) << ErrName(pfx.error());
+    uint8_t out[64];
+    Result<size_t> n = (*pfx)->RecvMsg(out, sizeof(out));
+    ASSERT_TRUE(n.ok()) << ErrName(n.error());
+    EXPECT_EQ(*n, 5u);
+    EXPECT_EQ(0, std::memcmp(out, "after", 5));
+    EXPECT_EQ((*pfx)->RecvMsg(out, sizeof(out)).error(), Err::kEof);
+    api->Close(fd);
+    client_done = true;
+  });
+  w.sim().Run(Seconds(60));
+
+  EXPECT_TRUE(client_done);
+}
+
+TEST(ProtoStack, SwitchRefusedKeepsSpeakingLines) {
+  World w(Config::kInKernel, MachineProfile::DecStation5000());
+  ProtoCounters client_c;
+  bool client_done = false;
+
+  w.SpawnApp(1, "swsrv", [&] {
+    SocketApi* api = w.api(1);
+    int lfd = *api->CreateSocket(IpProto::kTcp);
+    ASSERT_TRUE(api->Bind(lfd, SockAddrIn{Ipv4Addr::Any(), 6104}).ok());
+    ASSERT_TRUE(api->Listen(lfd, 1).ok());
+    Result<int> cfd = api->Accept(lfd, nullptr);
+    ASSERT_TRUE(cfd.ok());
+    SockByteStream bs(api, *cfd);
+    CrlfStream crlf(&bs, 128);
+    uint8_t line[128];
+    ASSERT_TRUE(crlf.RecvMsg(line, sizeof(line)).ok());
+    ASSERT_TRUE(crlf.SendMsg(reinterpret_cast<const uint8_t*>("NO"), 2).ok());
+    // Still a line server afterwards: echo one more line.
+    Result<size_t> n = crlf.RecvMsg(line, sizeof(line));
+    ASSERT_TRUE(n.ok());
+    ASSERT_TRUE(crlf.SendMsg(line, *n).ok());
+    api->Close(*cfd);
+    api->Close(lfd);
+  });
+  w.SpawnApp(0, "swcli", [&] {
+    SocketApi* api = w.api(0);
+    int fd = *api->CreateSocket(IpProto::kTcp);
+    w.sim().current_thread()->SleepFor(Millis(5));
+    ASSERT_TRUE(api->Connect(fd, SockAddrIn{w.addr(1), 6104}).ok());
+    SockByteStream bs(api, fd);
+    CrlfStream crlf(&bs, 128, &client_c);
+    Result<std::unique_ptr<PfxStream>> pfx = RequestSwitch(&crlf, &bs, 4096, &client_c);
+    EXPECT_FALSE(pfx.ok());
+    // Refusal leaves the line protocol fully usable.
+    EXPECT_FALSE(crlf.detached());
+    EXPECT_FALSE(crlf.poisoned());
+    ASSERT_TRUE(crlf.SendMsg(reinterpret_cast<const uint8_t*>("still-lines"), 11).ok());
+    uint8_t echo[64];
+    Result<size_t> n = crlf.RecvMsg(echo, sizeof(echo));
+    ASSERT_TRUE(n.ok());
+    EXPECT_EQ(*n, 11u);
+    EXPECT_EQ(0, std::memcmp(echo, "still-lines", 11));
+    api->Close(fd);
+    client_done = true;
+  });
+  w.sim().Run(Seconds(60));
+
+  EXPECT_TRUE(client_done);
+  EXPECT_EQ(client_c.switch_refused, 1u);
+  EXPECT_EQ(client_c.switch_completed, 0u);
+}
+
+TEST(ProtoStack, DnsResolvesOnCleanWire) {
+  World w(Config::kInKernel, MachineProfile::DecStation5000());
+  ProtoCounters client_c, server_c;
+  bool stop = false;
+  uint64_t answered = 0;
+  int resolved = 0;
+
+  w.SpawnApp(1, "dnssrv", [&] {
+    SocketApi* api = w.api(1);
+    int fd = *api->CreateSocket(IpProto::kUdp);
+    ASSERT_TRUE(api->Bind(fd, SockAddrIn{Ipv4Addr::Any(), 6105}).ok());
+    SockDgram sock(api, fd);
+    answered = DnsServeLoop(&sock, &stop, Millis(20), &server_c);
+    api->Close(fd);
+  });
+  w.SpawnApp(0, "dnscli", [&] {
+    SocketApi* api = w.api(0);
+    int fd = *api->CreateSocket(IpProto::kUdp);
+    ASSERT_TRUE(api->Bind(fd, SockAddrIn{Ipv4Addr::Any(), 6106}).ok());
+    SockDgram sock(api, fd);
+    SockAddrIn server{w.addr(1), 6105};
+    w.sim().current_thread()->SleepFor(Millis(10));
+    for (uint64_t id = 1; id <= 4; id++) {
+      DnsOutcome o = DnsResolve(&sock, server, id, 99, 48, 3, Millis(200), &client_c);
+      resolved += o.resolved ? 1 : 0;
+      EXPECT_GE(o.transmissions, 1);
+    }
+    stop = true;
+    api->Close(fd);
+  });
+  w.sim().Run(Seconds(60));
+
+  EXPECT_EQ(resolved, 4);
+  EXPECT_EQ(answered, 4u);
+  EXPECT_EQ(client_c.dns_answers, 4u);
+  EXPECT_EQ(client_c.dns_failures, 0u);
+  EXPECT_EQ(client_c.dns_bad, 0u);
+}
+
+}  // namespace
+}  // namespace psd

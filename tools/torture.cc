@@ -8,10 +8,16 @@
 //
 // Usage:
 //   torture [--scenario NAME|all] [--config NAME|all] [--seed N]
-//           [--artifacts DIR] [--list]
+//           [--mix NAME] [--artifacts DIR] [--list] [--list-mixes]
 //
 // Defaults: --scenario all --config in-kernel --seed 1.
+//   --mix NAME       attach an application-traffic mix (see --list-mixes) to
+//                    every selected scenario: composed protocol-adapter
+//                    stacks (RPC/pfx, CRLF echo, in-band switch, DNS-like
+//                    UDP) run through the scenario's fault plan, so coverage
+//                    is fault plans x protocol mixes x placements
 //   --list           print the scenario registry and exit
+//   --list-mixes     print the traffic-mix registry and exit
 //   --artifacts DIR  on failure, write DIR/torture-<scenario>-<config>-<seed>
 //                    .pktwalk.txt and .pcap for postmortem
 #include <cstdio>
@@ -24,6 +30,7 @@
 #include "src/obs/journey.h"
 #include "src/obs/pcap.h"
 #include "src/testbed/torture.h"
+#include "src/testbed/traffic_mix.h"
 
 using namespace psd;
 
@@ -42,7 +49,7 @@ const ConfigEntry kConfigs[] = {
 int Usage(const char* argv0) {
   fprintf(stderr,
           "usage: %s [--scenario NAME|all] [--config NAME|all] [--seed N]\n"
-          "          [--artifacts DIR] [--list]\n",
+          "          [--mix NAME] [--artifacts DIR] [--list] [--list-mixes]\n",
           argv0);
   return 2;
 }
@@ -56,6 +63,7 @@ int main(int argc, char** argv) {
   std::string scenario = "all";
   std::string config = "in-kernel";
   uint64_t seed = 1;
+  std::string mix;
   std::string artifacts;
   for (int i = 1; i < argc; i++) {
     auto need = [&](const char* flag) -> const char* {
@@ -71,11 +79,18 @@ int main(int argc, char** argv) {
       config = need("--config");
     } else if (strcmp(argv[i], "--seed") == 0) {
       seed = static_cast<uint64_t>(atoll(need("--seed")));
+    } else if (strcmp(argv[i], "--mix") == 0) {
+      mix = need("--mix");
     } else if (strcmp(argv[i], "--artifacts") == 0) {
       artifacts = need("--artifacts");
     } else if (strcmp(argv[i], "--list") == 0) {
       for (const TortureSpec& s : TortureScenarios()) {
-        printf("%-16s %s\n", s.name.c_str(), s.summary.c_str());
+        printf("%-24s %s\n", s.name.c_str(), s.summary.c_str());
+      }
+      return 0;
+    } else if (strcmp(argv[i], "--list-mixes") == 0) {
+      for (const MixSpec& m : TrafficMixes()) {
+        printf("%-16s %s\n", m.name.c_str(), m.summary.c_str());
       }
       return 0;
     } else {
@@ -84,10 +99,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::vector<const TortureSpec*> specs;
+  std::vector<TortureSpec> specs;
   if (scenario == "all") {
     for (const TortureSpec& s : TortureScenarios()) {
-      specs.push_back(&s);
+      specs.push_back(s);
     }
   } else {
     const TortureSpec* s = FindTortureScenario(scenario);
@@ -95,7 +110,19 @@ int main(int argc, char** argv) {
       fprintf(stderr, "unknown scenario '%s' (try --list)\n", scenario.c_str());
       return Usage(argv[0]);
     }
-    specs.push_back(s);
+    specs.push_back(*s);
+  }
+  if (!mix.empty()) {
+    if (FindTrafficMix(mix) == nullptr) {
+      fprintf(stderr, "unknown mix '%s' (try --list-mixes)\n", mix.c_str());
+      return Usage(argv[0]);
+    }
+    // Compose: the chosen mix rides every selected scenario's fault plan.
+    // The report header stays keyed by scenario+mix so replay diffs line up.
+    for (TortureSpec& s : specs) {
+      s.mix = mix;
+      s.name += "+" + mix;
+    }
   }
   std::vector<ConfigEntry> configs;
   if (config == "all") {
@@ -114,10 +141,10 @@ int main(int argc, char** argv) {
 
   int runs = 0;
   int failures = 0;
-  for (const TortureSpec* s : specs) {
+  for (const TortureSpec& s : specs) {
     for (const ConfigEntry& c : configs) {
       PcapCapture pcap;
-      TortureResult r = RunTorture(c.cfg, *s, seed, &pcap);
+      TortureResult r = RunTorture(c.cfg, s, seed, &pcap);
       fputs(r.report.c_str(), stdout);
       fputs("\n", stdout);
       runs++;
@@ -125,7 +152,7 @@ int main(int argc, char** argv) {
         failures++;
         if (!artifacts.empty()) {
           std::string stem =
-              artifacts + "/torture-" + s->name + "-" + c.name + "-" + std::to_string(seed);
+              artifacts + "/torture-" + s.name + "-" + c.name + "-" + std::to_string(seed);
           PktwalkFilter pf;
           FILE* f = fopen((stem + ".pktwalk.txt").c_str(), "w");
           if (f != nullptr) {
